@@ -1,0 +1,113 @@
+//! Baseline-comparison benches (paper Figs. 7 and 8 point costs): rank-
+//! heavy and YCSB-style mixes across all structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{BatAdapter, FanoutAdapter, FrAdapter, VcasAdapter};
+use workloads::{prefill, BenchSet, Xorshift};
+
+const SIZE: u64 = 100_000;
+
+fn lineup() -> Vec<Box<dyn BenchSet>> {
+    vec![
+        Box::new(BatAdapter::eager()),
+        Box::new(FrAdapter::new()),
+        Box::new(VcasAdapter::new()),
+        Box::new(FanoutAdapter::new()),
+    ]
+}
+
+fn bench_rank_mix(c: &mut Criterion) {
+    // Fig. 7 point: 10% rank queries, 45/45 updates.
+    let mut group = c.benchmark_group("rank10_mix");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for set in lineup() {
+        prefill(set.as_ref(), SIZE, 42);
+        let mut rng = Xorshift::new(13);
+        group.bench_function(set.name().to_string(), |b| {
+            b.iter(|| {
+                let roll = rng.below(100);
+                let k = rng.below(SIZE);
+                match roll {
+                    0..=44 => {
+                        set.insert(k);
+                    }
+                    45..=89 => {
+                        set.remove(k);
+                    }
+                    _ => {
+                        set.rank(k);
+                    }
+                }
+            })
+        });
+        ebr::flush();
+    }
+    group.finish();
+}
+
+fn bench_ycsb_a(c: &mut Criterion) {
+    // Fig. 8b point: 25-25-25-25 with RQ 5_000.
+    let mut group = c.benchmark_group("ycsb_a_like");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    const RQ: u64 = 5_000;
+    for set in lineup() {
+        prefill(set.as_ref(), SIZE, 42);
+        let mut rng = Xorshift::new(17);
+        group.bench_function(set.name().to_string(), |b| {
+            b.iter(|| {
+                let roll = rng.below(100);
+                let k = rng.below(SIZE);
+                match roll {
+                    0..=24 => {
+                        set.insert(k);
+                    }
+                    25..=49 => {
+                        set.remove(k);
+                    }
+                    50..=74 => {
+                        set.contains(k);
+                    }
+                    _ => {
+                        let lo = rng.below(SIZE - RQ);
+                        set.range_count(lo, lo + RQ);
+                    }
+                }
+            })
+        });
+        ebr::flush();
+    }
+    group.finish();
+}
+
+fn bench_zipf_updates(c: &mut Criterion) {
+    // Fig. 10 point: Zipfian update mix (hot keys contend at the top).
+    let mut group = c.benchmark_group("zipf_updates");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    let zipf = workloads::Zipf::new(SIZE, 0.95);
+    for set in lineup() {
+        prefill(set.as_ref(), SIZE, 42);
+        let mut rng = Xorshift::new(19);
+        group.bench_function(set.name().to_string(), |b| {
+            b.iter(|| {
+                let k = workloads::scramble(zipf.sample(&mut rng), SIZE);
+                if rng.next_u64() & 1 == 0 {
+                    set.insert(k)
+                } else {
+                    set.remove(k)
+                }
+            })
+        });
+        ebr::flush();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_mix, bench_ycsb_a, bench_zipf_updates);
+criterion_main!(benches);

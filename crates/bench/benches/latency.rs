@@ -1,0 +1,58 @@
+//! Mixed-workload latency benchmarks (paper Fig. 9): per-operation cost
+//! under the 10-10-40-40 mix at a fixed range-query size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{BatAdapter, FanoutAdapter, FrAdapter, VcasAdapter};
+use workloads::{prefill, BenchSet, Xorshift};
+
+const SIZE: u64 = 100_000;
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_10_10_40_40");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for &rq in &[64u64, 4_096] {
+        let sets: Vec<Box<dyn BenchSet>> = vec![
+            Box::new(BatAdapter::eager()),
+            Box::new(FrAdapter::new()),
+            Box::new(VcasAdapter::new()),
+            Box::new(FanoutAdapter::new()),
+        ];
+        for set in sets {
+            prefill(set.as_ref(), SIZE, 42);
+            let mut rng = Xorshift::new(11);
+            group.bench_with_input(
+                BenchmarkId::new(set.name().to_string(), rq),
+                &rq,
+                |b, &rq| {
+                    b.iter(|| {
+                        let roll = rng.below(100);
+                        let k = rng.below(SIZE);
+                        match roll {
+                            0..=9 => {
+                                set.insert(k);
+                            }
+                            10..=19 => {
+                                set.remove(k);
+                            }
+                            20..=59 => {
+                                set.contains(k);
+                            }
+                            _ => {
+                                let lo = rng.below(SIZE - rq);
+                                set.range_count(lo, lo + rq);
+                            }
+                        }
+                    })
+                },
+            );
+            ebr::flush();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

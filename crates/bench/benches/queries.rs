@@ -1,0 +1,109 @@
+//! Query microbenchmarks (paper Figs. 5c and 6): rank, select and range
+//! queries of increasing size on prefilled structures — the augmented
+//! trees should be flat in range size, the unaugmented ones linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bench::{BatAdapter, FanoutAdapter, FrAdapter, VcasAdapter};
+use workloads::{prefill, BenchSet, Xorshift};
+
+const SIZE: u64 = 100_000;
+
+fn prefilled() -> Vec<Box<dyn BenchSet>> {
+    let sets: Vec<Box<dyn BenchSet>> = vec![
+        Box::new(BatAdapter::eager()),
+        Box::new(FrAdapter::new()),
+        Box::new(VcasAdapter::new()),
+        Box::new(FanoutAdapter::new()),
+    ];
+    for s in &sets {
+        prefill(s.as_ref(), SIZE, 42);
+    }
+    sets
+}
+
+fn bench_range_queries(c: &mut Criterion) {
+    let sets = prefilled();
+    let mut group = c.benchmark_group("range_count");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for &rq in &[16u64, 256, 4_096, 32_768] {
+        group.throughput(Throughput::Elements(rq));
+        for set in &sets {
+            let mut rng = Xorshift::new(3);
+            group.bench_with_input(
+                BenchmarkId::new(set.name().to_string(), rq),
+                &rq,
+                |b, &rq| {
+                    b.iter(|| {
+                        let lo = rng.below(SIZE - rq);
+                        set.range_count(lo, lo + rq)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+    ebr::flush();
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let sets = prefilled();
+    let mut group = c.benchmark_group("rank");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for set in &sets {
+        let mut rng = Xorshift::new(5);
+        group.bench_function(set.name().to_string(), |b| {
+            b.iter(|| set.rank(rng.below(SIZE)))
+        });
+    }
+    group.finish();
+    ebr::flush();
+}
+
+fn bench_select(c: &mut Criterion) {
+    // Select is only efficient on the augmented trees (Fig. 5c).
+    let mut group = c.benchmark_group("select");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(400));
+    for set in [
+        Box::new(BatAdapter::eager()) as Box<dyn BenchSet>,
+        Box::new(FrAdapter::new()),
+    ] {
+        prefill(set.as_ref(), SIZE, 42);
+        let n = set.size_hint().max(1);
+        let mut rng = Xorshift::new(6);
+        group.bench_function(set.name().to_string(), |b| {
+            b.iter(|| set.select(rng.below(n)))
+        });
+        ebr::flush();
+    }
+    group.finish();
+}
+
+fn bench_snapshot_acquisition(c: &mut Criterion) {
+    // Snapshots are O(1) for all snapshot-capable structures.
+    let bat = BatAdapter::eager();
+    prefill(&bat, SIZE, 42);
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.bench_function("BAT-EagerDel/len_via_snapshot", |b| {
+        b.iter(|| bat.size_hint())
+    });
+    group.finish();
+    ebr::flush();
+}
+
+criterion_group!(
+    benches,
+    bench_range_queries,
+    bench_rank,
+    bench_select,
+    bench_snapshot_acquisition
+);
+criterion_main!(benches);

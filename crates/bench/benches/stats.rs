@@ -1,0 +1,67 @@
+//! Delegation-ablation benches (paper §5 / Fig. 5a and our A1): contended
+//! update streams under each propagate variant, measuring the per-op cost
+//! the delegation machinery saves (or adds, in the uncontended case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::BatAdapter;
+use workloads::{prefill, BenchSet, Xorshift};
+
+fn bench_contended_updates(c: &mut Criterion) {
+    // Tiny key space: every update propagates through the same few top
+    // nodes — the §5 bottleneck delegation exists to relieve.
+    let mut group = c.benchmark_group("contended_updates");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for &keys in &[64u64, 4_096] {
+        for (name, set) in [
+            ("BAT", BatAdapter::plain()),
+            ("BAT-Del", BatAdapter::del()),
+            ("BAT-EagerDel", BatAdapter::eager()),
+        ] {
+            prefill(&set, keys, 42);
+            let mut rng = Xorshift::new(23);
+            group.bench_with_input(BenchmarkId::new(name, keys), &keys, |b, &keys| {
+                b.iter(|| {
+                    let k = rng.below(keys);
+                    if rng.next_u64() & 1 == 0 {
+                        set.insert(k)
+                    } else {
+                        set.remove(k)
+                    }
+                })
+            });
+            ebr::flush();
+        }
+    }
+    group.finish();
+}
+
+fn bench_propagate_cost_by_size(c: &mut Criterion) {
+    // Propagation is O(height): cost should grow logarithmically in size.
+    let mut group = c.benchmark_group("propagate_by_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(400));
+    for &size in &[1_000u64, 32_000, 1_000_000] {
+        let set = BatAdapter::eager();
+        prefill(&set, size, 42);
+        let mut rng = Xorshift::new(29);
+        group.bench_with_input(BenchmarkId::new("insert_delete", size), &size, |b, &size| {
+            b.iter(|| {
+                let k = rng.below(size);
+                if rng.next_u64() & 1 == 0 {
+                    set.insert(k)
+                } else {
+                    set.remove(k)
+                }
+            })
+        });
+        ebr::flush();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contended_updates, bench_propagate_cost_by_size);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Update-path microbenchmarks (paper Fig. 5a/5b point costs): one
+//! insert+delete cycle on a prefilled structure, per variant and size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{BatAdapter, ChromaticAdapter, FanoutAdapter, FrAdapter, VcasAdapter};
+use workloads::{prefill, BenchSet, Xorshift};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(150));
+
+    for &size in &[10_000u64, 100_000] {
+        let sets: Vec<Box<dyn BenchSet>> = vec![
+            Box::new(BatAdapter::plain()),
+            Box::new(BatAdapter::del()),
+            Box::new(BatAdapter::eager()),
+            Box::new(FrAdapter::new()),
+            Box::new(VcasAdapter::new()),
+            Box::new(FanoutAdapter::new()),
+            Box::new(ChromaticAdapter::new()),
+        ];
+        for set in sets {
+            prefill(set.as_ref(), size, 42);
+            let mut rng = Xorshift::new(7);
+            group.bench_with_input(
+                BenchmarkId::new(set.name().to_string(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        let k = rng.below(size);
+                        if rng.next_u64() & 1 == 0 {
+                            set.insert(k)
+                        } else {
+                            set.remove(k)
+                        }
+                    })
+                },
+            );
+            ebr::flush();
+        }
+    }
+    group.finish();
+}
+
+fn bench_sorted_inserts(c: &mut Criterion) {
+    // Fig. 5b's point: balanced vs unbalanced under ascending keys.
+    let mut group = c.benchmark_group("sorted_inserts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+
+    let bat = BatAdapter::eager();
+    let fr = FrAdapter::new();
+    let mut next_bat = 0u64;
+    group.bench_function("BAT-EagerDel", |b| {
+        b.iter(|| {
+            next_bat += 1;
+            bat.insert(next_bat)
+        })
+    });
+    let mut next_fr = 0u64;
+    group.bench_function("FR-BST", |b| {
+        b.iter(|| {
+            next_fr += 1;
+            fr.insert(next_fr)
+        })
+    });
+    group.finish();
+    ebr::flush();
+}
+
+criterion_group!(benches, bench_updates, bench_sorted_inserts);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Sentinel-extended keys.
+//!
+//! The chromatic tree (and the unbalanced FR-BST) are *leaf-oriented* BSTs
+//! whose top levels hold sentinel nodes with keys "∞₁ < ∞₂" greater than
+//! every real key (paper §3.1). We encode this with an enum whose `Ord`
+//! places every real key below both infinities.
+
+/// A key extended with the two sentinel infinities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SentKey<K> {
+    /// A real key.
+    Key(K),
+    /// The first sentinel infinity (`∞₁`): greater than all real keys.
+    Inf1,
+    /// The second sentinel infinity (`∞₂`): greater than `∞₁`.
+    Inf2,
+}
+
+impl<K> SentKey<K> {
+    /// True for `∞₁` / `∞₂`.
+    #[inline]
+    pub fn is_sentinel(&self) -> bool {
+        !matches!(self, SentKey::Key(_))
+    }
+
+    /// The real key, if any.
+    #[inline]
+    pub fn as_key(&self) -> Option<&K> {
+        match self {
+            SentKey::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+impl<K: Ord> SentKey<K> {
+    /// `true` if a search for real key `k` descends left at a node with
+    /// this key (leaf-oriented BST rule: go left iff `k < key`).
+    #[inline]
+    pub fn goes_left(&self, k: &K) -> bool {
+        match self {
+            SentKey::Key(ref key) => k < key,
+            // Real keys are smaller than both sentinels.
+            SentKey::Inf1 | SentKey::Inf2 => true,
+        }
+    }
+}
+
+impl<K> From<K> for SentKey<K> {
+    fn from(k: K) -> Self {
+        SentKey::Key(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_places_sentinels_last() {
+        assert!(SentKey::Key(u64::MAX) < SentKey::Inf1);
+        assert!(SentKey::<u64>::Inf1 < SentKey::Inf2);
+        assert!(SentKey::Key(1) < SentKey::Key(2));
+    }
+
+    #[test]
+    fn goes_left_routes_correctly() {
+        assert!(SentKey::Key(10).goes_left(&5));
+        assert!(!SentKey::Key(10).goes_left(&10));
+        assert!(!SentKey::Key(10).goes_left(&15));
+        assert!(SentKey::<u64>::Inf1.goes_left(&u64::MAX));
+        assert!(SentKey::<u64>::Inf2.goes_left(&0));
+    }
+
+    #[test]
+    fn sentinel_predicates() {
+        assert!(SentKey::<u32>::Inf1.is_sentinel());
+        assert!(!SentKey::Key(3).is_sentinel());
+        assert_eq!(SentKey::Key(3).as_key(), Some(&3));
+        assert_eq!(SentKey::<u32>::Inf2.as_key(), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! Tree nodes and the augmentation plugin interface.
+//!
+//! A [`Node`] is an LLX/SCX *record*: its mutable fields are the two child
+//! pointers; key, weight and value are immutable after construction. The
+//! `plugin` slot carries whatever per-node state an augmentation layer
+//! needs — for BAT it is the `version` pointer, which the paper explicitly
+//! keeps *outside* the LLX/SCX record so augmentation does not interfere
+//! with chromatic tree operations (§4).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use llxscx::{Llx, Linked, RecordHeader};
+
+use crate::key::SentKey;
+
+/// Per-node augmentation state plus the hooks the paper's Definition 1
+/// ("Version Initialization Rules") requires at node-allocation time.
+///
+/// The unaugmented tree uses `()`; BAT uses a version-pointer slot.
+pub trait NodePlugin<K, V>: Sized + Send + Sync {
+    /// Plugin state for a newly created leaf with the given key
+    /// (Definition 1, rules 1–2: real leaf vs sentinel leaf).
+    fn new_leaf(key: &SentKey<K>, value: Option<&V>) -> Self;
+
+    /// Plugin state for a newly created internal node
+    /// (Definition 1, rule 3: version starts `nil`).
+    fn new_internal(key: &SentKey<K>) -> Self;
+
+    /// Called exactly once per node when the node's memory is about to be
+    /// reclaimed (both for published nodes after their epoch grace period
+    /// and for patch nodes whose SCX failed). For BAT this retires the
+    /// node's final version (§6).
+    fn on_reclaim(&self);
+}
+
+impl<K, V> NodePlugin<K, V> for () {
+    #[inline]
+    fn new_leaf(_: &SentKey<K>, _: Option<&V>) -> Self {}
+    #[inline]
+    fn new_internal(_: &SentKey<K>) -> Self {}
+    #[inline]
+    fn on_reclaim(&self) {}
+}
+
+/// A chromatic tree node.
+///
+/// Leaves have null child pointers and carry the (optional) user value;
+/// internal nodes route searches only. `weight` encodes color: 0 = red,
+/// 1 = black, ≥ 2 = overweight.
+pub struct Node<K, V, P> {
+    /// LLX/SCX coordination word + finalized flag.
+    pub header: RecordHeader,
+    left: AtomicU64,
+    right: AtomicU64,
+    key: SentKey<K>,
+    weight: u32,
+    value: Option<V>,
+    /// Augmentation slot (e.g. BAT's version pointer). Not part of the
+    /// LLX/SCX record; mutated directly with CAS by the augmentation layer.
+    pub plugin: P,
+}
+
+/// Atomic snapshot of a node's mutable fields, as returned by [`Node::llx`].
+pub type ChildSnap = (u64, u64);
+
+impl<K: Ord + Clone, V: Clone, P: NodePlugin<K, V>> Node<K, V, P> {
+    /// Allocate a leaf node (weight defaults to 1 for fresh leaves; deletes
+    /// pass explicit weights when copying).
+    pub fn new_leaf(key: SentKey<K>, weight: u32, value: Option<V>) -> *mut Self {
+        let plugin = P::new_leaf(&key, value.as_ref());
+        Box::into_raw(Box::new(Node {
+            header: RecordHeader::new(),
+            left: AtomicU64::new(0),
+            right: AtomicU64::new(0),
+            key,
+            weight,
+            value,
+            plugin,
+        }))
+    }
+
+    /// Allocate an internal node with the given children.
+    pub fn new_internal(key: SentKey<K>, weight: u32, left: u64, right: u64) -> *mut Self {
+        debug_assert!(left != 0 && right != 0, "internal node requires children");
+        let plugin = P::new_internal(&key);
+        Box::into_raw(Box::new(Node {
+            header: RecordHeader::new(),
+            left: AtomicU64::new(left),
+            right: AtomicU64::new(right),
+            key,
+            weight,
+            value: None,
+            plugin,
+        }))
+    }
+
+    /// Copy this node with a new weight; children taken from an LLX
+    /// snapshot (internal) or cloned value (leaf).
+    pub fn copy_with_weight(&self, weight: u32, snap: ChildSnap) -> *mut Self {
+        if self.is_leaf() {
+            Self::new_leaf(self.key.clone(), weight, self.value.clone())
+        } else {
+            Self::new_internal(self.key.clone(), weight, snap.0, snap.1)
+        }
+    }
+}
+
+impl<K, V, P> Node<K, V, P> {
+    /// The node's (sentinel-extended) key.
+    #[inline]
+    pub fn key(&self) -> &SentKey<K> {
+        &self.key
+    }
+
+    /// The node's weight (0 = red, 1 = black, ≥2 = overweight).
+    #[inline]
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// The user value (leaves only).
+    #[inline]
+    pub fn value(&self) -> Option<&V> {
+        self.value.as_ref()
+    }
+
+    /// True if this node is a leaf (no children).
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left.load(Ordering::Acquire) == 0
+    }
+
+    /// True if this node carries a sentinel key.
+    #[inline]
+    pub fn is_sentinel(&self) -> bool {
+        self.key.is_sentinel()
+    }
+
+    /// Current left child (raw). 0 for leaves.
+    #[inline]
+    pub fn left_raw(&self) -> u64 {
+        self.left.load(Ordering::Acquire)
+    }
+
+    /// Current right child (raw). 0 for leaves.
+    #[inline]
+    pub fn right_raw(&self) -> u64 {
+        self.right.load(Ordering::Acquire)
+    }
+
+    /// The raw left-child field, for SCX targeting.
+    #[inline]
+    pub fn left_field(&self) -> *const AtomicU64 {
+        &self.left
+    }
+
+    /// The raw right-child field, for SCX targeting.
+    #[inline]
+    pub fn right_field(&self) -> *const AtomicU64 {
+        &self.right
+    }
+
+    /// Dereference a raw child pointer.
+    ///
+    /// # Safety
+    /// `raw` must be a non-null pointer obtained from this tree while the
+    /// current thread's epoch guard protects it.
+    #[inline]
+    pub unsafe fn from_raw<'g>(raw: u64) -> &'g Self {
+        debug_assert_ne!(raw, 0);
+        unsafe { &*(raw as *const Self) }
+    }
+
+    /// This node as a raw pointer value.
+    #[inline]
+    pub fn as_raw(&self) -> u64 {
+        self as *const Self as u64
+    }
+
+    /// LLX this node, returning an atomic snapshot of its child pointers.
+    #[inline]
+    pub fn llx(&self) -> Llx<ChildSnap> {
+        llxscx::llx(&self.header, || {
+            (
+                self.left.load(Ordering::Acquire),
+                self.right.load(Ordering::Acquire),
+            )
+        })
+    }
+
+    /// Build a [`Linked`] entry for SCX from an LLX result.
+    #[inline]
+    pub fn linked(&self, info: llxscx::InfoTag) -> Linked {
+        Linked {
+            header: &self.header,
+            info,
+        }
+    }
+
+    /// True once removed from the tree.
+    #[inline]
+    pub fn is_finalized(&self) -> bool {
+        self.header.is_finalized()
+    }
+}
+
+impl<K: Ord, V, P> Node<K, V, P> {
+    /// The child a search for `k` follows, given an LLX snapshot.
+    #[inline]
+    pub fn child_for(&self, k: &K, snap: ChildSnap) -> u64 {
+        if self.key.goes_left(k) {
+            snap.0
+        } else {
+            snap.1
+        }
+    }
+
+    /// The child-pointer field a search for `k` follows.
+    #[inline]
+    pub fn field_for(&self, k: &K) -> *const AtomicU64 {
+        if self.key.goes_left(k) {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}
+
+/// Reclamation entry point: runs the plugin hook, then frees the node.
+///
+/// # Safety
+/// `ptr` must be a `Box`-allocated `Node` that is unreachable (or never was
+/// published), freed exactly once.
+pub unsafe fn free_node<K, V, P: NodePlugin<K, V>>(ptr: *mut u8) {
+    let node = unsafe { Box::from_raw(ptr as *mut Node<K, V, P>) };
+    node.plugin.on_reclaim();
+    drop(node);
+}
+
+/// Retire a node through EBR with the plugin-aware destructor.
+///
+/// # Safety
+/// As for [`ebr::Guard::retire`].
+pub unsafe fn retire_node<K, V, P>(guard: &ebr::Guard, raw: u64)
+where
+    P: NodePlugin<K, V>,
+{
+    unsafe { guard.retire_with(raw as *mut u8, free_node::<K, V, P>) };
+}
+
+/// Immediately dispose of a node that was never published (failed SCX).
+///
+/// # Safety
+/// `raw` must point to a node created by this thread that no other thread
+/// has ever seen.
+pub unsafe fn dispose_unpublished<K, V, P>(raw: u64)
+where
+    P: NodePlugin<K, V>,
+{
+    unsafe { free_node::<K, V, P>(raw as *mut u8) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type N = Node<u64, (), ()>;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let _g = ebr::pin();
+        let leaf = N::new_leaf(SentKey::Key(5), 1, Some(()));
+        let leaf = unsafe { &*leaf };
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.key(), &SentKey::Key(5));
+        assert_eq!(leaf.weight(), 1);
+        assert!(!leaf.is_finalized());
+        unsafe { dispose_unpublished::<u64, (), ()>(leaf.as_raw()) };
+    }
+
+    #[test]
+    fn internal_routes_search() {
+        let _g = ebr::pin();
+        let l = N::new_leaf(SentKey::Key(1), 1, Some(()));
+        let r = N::new_leaf(SentKey::Key(9), 1, Some(()));
+        let n = N::new_internal(SentKey::Key(5), 1, l as u64, r as u64);
+        let n = unsafe { &*n };
+        assert!(!n.is_leaf());
+        let (_, snap) = n.llx().unwrap();
+        assert_eq!(n.child_for(&3, snap), l as u64);
+        assert_eq!(n.child_for(&5, snap), r as u64); // ties go right
+        assert_eq!(n.child_for(&7, snap), r as u64);
+        unsafe {
+            dispose_unpublished::<u64, (), ()>(l as u64);
+            dispose_unpublished::<u64, (), ()>(r as u64);
+            dispose_unpublished::<u64, (), ()>(n.as_raw());
+        }
+    }
+
+    #[test]
+    fn plugin_reclaim_hook_runs() {
+        use std::sync::atomic::AtomicUsize;
+        static RECLAIMS: AtomicUsize = AtomicUsize::new(0);
+        struct Counting;
+        impl NodePlugin<u64, ()> for Counting {
+            fn new_leaf(_: &SentKey<u64>, _: Option<&()>) -> Self {
+                Counting
+            }
+            fn new_internal(_: &SentKey<u64>) -> Self {
+                Counting
+            }
+            fn on_reclaim(&self) {
+                RECLAIMS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let before = RECLAIMS.load(Ordering::SeqCst);
+        let leaf = Node::<u64, (), Counting>::new_leaf(SentKey::Key(1), 1, Some(()));
+        unsafe { dispose_unpublished::<u64, (), Counting>(leaf as u64) };
+        assert_eq!(RECLAIMS.load(Ordering::SeqCst), before + 1);
+    }
+}
+
+impl<K: Ord, V, P> Node<K, V, P> {
+    /// The child a search for the sentinel-extended key follows
+    /// (leaf-oriented rule: left iff `key < self.key`).
+    #[inline]
+    pub fn child_for_sent(&self, key: &SentKey<K>, snap: ChildSnap) -> u64 {
+        if key < &self.key {
+            snap.0
+        } else {
+            snap.1
+        }
+    }
+
+    /// The child-pointer field a search for the sentinel-extended key
+    /// follows.
+    #[inline]
+    pub fn field_for_sent(&self, key: &SentKey<K>) -> *const AtomicU64 {
+        if key < &self.key {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Structural invariant checkers, used by tests and by downstream crates'
+//! property tests. These walk the tree non-atomically, so they must only be
+//! called while the tree is quiescent (no concurrent updates).
+
+use crate::key::SentKey;
+use crate::node::{Node, NodePlugin};
+use crate::tree::ChromaticTree;
+
+/// A violation report from [`ChromaticTree::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Invalid {
+    /// A leaf key fell outside the range implied by its ancestors.
+    BstOrder(String),
+    /// Two real-tree root-to-leaf paths have different weight sums.
+    WeightedPath { first: u64, other: u64 },
+    /// An internal node has weight 0 and a weight-0 child.
+    RedRed,
+    /// A non-root node has weight ≥ 2.
+    Overweight,
+    /// A leaf has weight 0.
+    RedLeaf,
+    /// Tree height exceeds the chromatic bound for its size.
+    TooTall { height: usize, leaves: usize },
+}
+
+/// Summary statistics of a quiescent tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeShape {
+    /// Number of real (non-sentinel) keys.
+    pub keys: usize,
+    /// Height of the real tree (edges from real root to deepest leaf).
+    pub height: usize,
+    /// Total weight along the leftmost real path.
+    pub weighted_height: u64,
+    /// Number of internal nodes in the real tree.
+    pub internal: usize,
+}
+
+impl<K, V, P> ChromaticTree<K, V, P>
+where
+    K: Ord + Clone + Send + Sync + std::fmt::Debug,
+    V: Clone + Send + Sync,
+    P: NodePlugin<K, V>,
+{
+    /// The root of the real tree (left child of the ∞₁ sentinel node).
+    fn real_root(&self) -> &Node<K, V, P> {
+        let inf1 = unsafe { Node::<K, V, P>::from_raw(self.entry().left_raw()) };
+        unsafe { Node::<K, V, P>::from_raw(inf1.left_raw()) }
+    }
+
+    /// Check every structural invariant; must be quiescent. `strict`
+    /// additionally requires zero balance violations (run
+    /// [`ChromaticTree::cleanup_everywhere`] first if updates just ran).
+    pub fn validate(&self, strict: bool) -> Result<TreeShape, Invalid> {
+        let root = self.real_root();
+        let mut leaves = 0usize;
+        let mut internal = 0usize;
+        let mut path_weight: Option<u64> = None;
+        let mut max_depth = 0usize;
+
+        // DFS with (node, lower, upper, weight_sum, depth, parent_weight).
+        #[allow(clippy::type_complexity)]
+        fn dfs<K, V, P>(
+            node: &Node<K, V, P>,
+            lower: Option<&SentKey<K>>,
+            upper: Option<&SentKey<K>>,
+            wsum: u64,
+            depth: usize,
+            parent_weight: u32,
+            strict: bool,
+            check_paths: bool,
+            leaves: &mut usize,
+            internal: &mut usize,
+            path_weight: &mut Option<u64>,
+            max_depth: &mut usize,
+            is_root: bool,
+        ) -> Result<(), Invalid>
+        where
+            K: Ord + Clone + Send + Sync + std::fmt::Debug,
+            V: Clone + Send + Sync,
+            P: NodePlugin<K, V>,
+        {
+            let w = node.weight() as u64;
+            if strict {
+                if node.weight() == 0 && parent_weight == 0 {
+                    return Err(Invalid::RedRed);
+                }
+                if node.weight() >= 2 && !is_root {
+                    return Err(Invalid::Overweight);
+                }
+            }
+            if node.is_leaf() {
+                if node.weight() == 0 {
+                    return Err(Invalid::RedLeaf);
+                }
+                *leaves += 1;
+                *max_depth = (*max_depth).max(depth);
+                let total = wsum + w;
+                match *path_weight {
+                    None => *path_weight = Some(total),
+                    Some(first) if first != total && check_paths => {
+                        return Err(Invalid::WeightedPath {
+                            first,
+                            other: total,
+                        })
+                    }
+                    _ => {}
+                }
+                // BST range check on the leaf key.
+                if let Some(lo) = lower {
+                    if node.key() < lo {
+                        return Err(Invalid::BstOrder(format!(
+                            "leaf {:?} below lower bound {:?}",
+                            node.key(),
+                            lo
+                        )));
+                    }
+                }
+                if let Some(hi) = upper {
+                    if node.key() >= hi {
+                        return Err(Invalid::BstOrder(format!(
+                            "leaf {:?} at/above upper bound {:?}",
+                            node.key(),
+                            hi
+                        )));
+                    }
+                }
+                return Ok(());
+            }
+            *internal += 1;
+            let left = unsafe { Node::<K, V, P>::from_raw(node.left_raw()) };
+            let right = unsafe { Node::<K, V, P>::from_raw(node.right_raw()) };
+            dfs(
+                left,
+                lower,
+                Some(node.key()),
+                wsum + w,
+                depth + 1,
+                node.weight(),
+                strict,
+                check_paths,
+                leaves,
+                internal,
+                path_weight,
+                max_depth,
+                false,
+            )?;
+            dfs(
+                right,
+                Some(node.key()),
+                upper,
+                wsum + w,
+                depth + 1,
+                node.weight(),
+                strict,
+                check_paths,
+                leaves,
+                internal,
+                path_weight,
+                max_depth,
+                false,
+            )
+        }
+
+        dfs(
+            root,
+            None,
+            None,
+            0,
+            0,
+            1, // parent is the ∞₁ sentinel, weight 1
+            strict,
+            self.is_balanced(),
+            &mut leaves,
+            &mut internal,
+            &mut path_weight,
+            &mut max_depth,
+            true,
+        )?;
+
+        // Real keys = leaves minus the one ∞₁-keyed rightmost leaf (present
+        // in every nonempty tree shape) — count directly instead.
+        let keys = self.collect_keys().len();
+
+        if strict && self.is_balanced() && keys >= 4 {
+            // Chromatic/red-black height bound: height ≤ 2·log2(leaves) + 2.
+            let bound = 2 * (usize::BITS - leaves.leading_zeros()) as usize + 2;
+            if max_depth > bound {
+                return Err(Invalid::TooTall {
+                    height: max_depth,
+                    leaves,
+                });
+            }
+        }
+
+        Ok(TreeShape {
+            keys,
+            height: max_depth,
+            weighted_height: path_weight.unwrap_or(0),
+            internal,
+        })
+    }
+
+    /// Collect all real keys in order (quiescent only).
+    pub fn collect_keys(&self) -> Vec<K> {
+        let mut out = Vec::new();
+        fn walk<K, V, P>(node: &Node<K, V, P>, out: &mut Vec<K>)
+        where
+            K: Ord + Clone + Send + Sync,
+            V: Clone + Send + Sync,
+            P: NodePlugin<K, V>,
+        {
+            if node.is_leaf() {
+                if let Some(k) = node.key().as_key() {
+                    out.push(k.clone());
+                }
+                return;
+            }
+            walk(unsafe { Node::<K, V, P>::from_raw(node.left_raw()) }, out);
+            walk(unsafe { Node::<K, V, P>::from_raw(node.right_raw()) }, out);
+        }
+        walk(self.real_root(), &mut out);
+        out
+    }
+
+    /// Sweep the whole tree repairing every balance violation (quiescent
+    /// helper for tests: concurrent executions may leave violations pending
+    /// when an updater is preempted mid-cleanup; real executions fix them
+    /// on the fly).
+    pub fn cleanup_everywhere(&self, guard: &ebr::Guard) {
+        loop {
+            // Find a leaf under the first (DFS) violation and clean toward it.
+            let mut target: Option<SentKey<K>> = None;
+            {
+                fn find<K, V, P>(
+                    node: &Node<K, V, P>,
+                    parent_w: u32,
+                    is_root: bool,
+                ) -> Option<SentKey<K>>
+                where
+                    K: Ord + Clone + Send + Sync,
+                    V: Clone + Send + Sync,
+                    P: NodePlugin<K, V>,
+                {
+                    let violated = (node.weight() == 0 && parent_w == 0)
+                        || (node.weight() >= 2 && !is_root);
+                    if violated {
+                        // Leftmost leaf key under this node routes to it.
+                        let mut cur = node;
+                        while !cur.is_leaf() {
+                            cur = unsafe { Node::from_raw(cur.left_raw()) };
+                        }
+                        return Some(cur.key().clone());
+                    }
+                    if node.is_leaf() {
+                        return None;
+                    }
+                    let l = unsafe { Node::<K, V, P>::from_raw(node.left_raw()) };
+                    let r = unsafe { Node::<K, V, P>::from_raw(node.right_raw()) };
+                    find(l, node.weight(), false).or_else(|| find(r, node.weight(), false))
+                }
+                let root = self.real_root();
+                if !root.is_leaf() || root.weight() >= 2 {
+                    target = find(root, 1, true);
+                }
+            }
+            match target {
+                Some(key) => self.cleanup(&key, guard),
+                None => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod negative_tests {
+    //! The validators must actually *catch* broken trees — build invalid
+    //! shapes by hand and confirm each check fires.
+
+    use crate::key::SentKey;
+    use crate::node::{dispose_unpublished, Node};
+    use crate::tree::ChromaticTree;
+    use crate::validate::Invalid;
+
+    type T = ChromaticTree<u64, (), ()>;
+    type N = Node<u64, (), ()>;
+
+    /// Swap in a hand-built real tree, run validate, restore, and clean up.
+    fn with_root(make: impl FnOnce() -> u64, check: impl FnOnce(Result<crate::validate::TreeShape, Invalid>)) {
+        let tree = T::new();
+        let root = make();
+        let inf1 = unsafe { N::from_raw(tree.entry().left_raw()) };
+        let placeholder = inf1.left_raw();
+        unsafe { (*inf1.left_field()).store(root, std::sync::atomic::Ordering::Release) };
+        check(tree.validate(true));
+        // Restore the placeholder so Drop walks a sane structure, and free
+        // the hand-built nodes manually.
+        fn free_rec(raw: u64) {
+            let n = unsafe { N::from_raw(raw) };
+            if !n.is_leaf() {
+                free_rec(n.left_raw());
+                free_rec(n.right_raw());
+            }
+            unsafe { dispose_unpublished::<u64, (), ()>(raw) };
+        }
+        let built = inf1.left_raw();
+        unsafe {
+            (*inf1.left_field()).store(placeholder, std::sync::atomic::Ordering::Release)
+        };
+        free_rec(built);
+    }
+
+    fn leaf(k: u64, w: u32) -> u64 {
+        N::new_leaf(SentKey::Key(k), w, Some(())) as u64
+    }
+
+    fn inf_leaf(w: u32) -> u64 {
+        N::new_leaf(SentKey::Inf1, w, None) as u64
+    }
+
+    fn internal(k: u64, w: u32, l: u64, r: u64) -> u64 {
+        N::new_internal(SentKey::Key(k), w, l, r) as u64
+    }
+
+    #[test]
+    fn catches_bst_violation() {
+        with_root(
+            || internal(5, 1, leaf(9, 1), inf_leaf(1)), // 9 in left subtree of 5!
+            |r| assert!(matches!(r, Err(Invalid::BstOrder(_))), "{r:?}"),
+        );
+    }
+
+    #[test]
+    fn catches_unequal_weighted_paths() {
+        with_root(
+            || {
+                // Left path 1+1+1 = 3, right path 1+1 = 2, no other
+                // violation present.
+                let deep = internal(2, 1, leaf(1, 1), leaf(2, 1));
+                internal(5, 1, deep, inf_leaf(1))
+            },
+            |r| assert!(matches!(r, Err(Invalid::WeightedPath { .. })), "{r:?}"),
+        );
+    }
+
+    #[test]
+    fn catches_red_red() {
+        // root(w1) -> red internal -> red internal.
+        with_root(
+            || {
+                let rr = internal(2, 0, leaf(1, 2), leaf(2, 2));
+                let red = internal(3, 0, rr, leaf(3, 2));
+                internal(4, 1, red, inf_leaf(2))
+            },
+            |r| assert!(matches!(r, Err(Invalid::RedRed)), "{r:?}"),
+        );
+    }
+
+    #[test]
+    fn catches_overweight() {
+        with_root(
+            || {
+                let ow = internal(2, 2, leaf(1, 1), leaf(2, 1)); // non-root w2
+                internal(3, 1, ow, inf_leaf(4))
+            },
+            |r| assert!(matches!(r, Err(Invalid::Overweight)), "{r:?}"),
+        );
+    }
+
+    #[test]
+    fn catches_red_leaf() {
+        with_root(
+            || internal(5, 1, leaf(1, 0), inf_leaf(1)),
+            |r| assert!(matches!(r, Err(Invalid::RedLeaf)), "{r:?}"),
+        );
+    }
+
+    #[test]
+    fn accepts_valid_hand_built_tree() {
+        with_root(
+            || {
+                let l = internal(2, 1, leaf(1, 1), leaf(2, 1));
+                let r = internal(9, 1, leaf(5, 1), inf_leaf(1));
+                internal(5, 1, l, r)
+            },
+            |r| {
+                let shape = r.expect("valid tree accepted");
+                assert_eq!(shape.keys, 3);
+            },
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based structural testing of the chromatic tree with
+//! *checkpointed* validation: invariants are asserted not only at the end
+//! but at random points mid-sequence, catching transiently-broken states
+//! that end-only checks miss.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use chromatic::ChromaticSet;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(u16),
+    Remove(u16),
+    Checkpoint,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => any::<u16>().prop_map(|k| Step::Insert(k % 384)),
+            4 => any::<u16>().prop_map(|k| Step::Remove(k % 384)),
+            1 => Just(Step::Checkpoint),
+        ],
+        1..500,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_at_every_checkpoint(ops in steps()) {
+        let set = ChromaticSet::<u64>::new();
+        let mut oracle = BTreeSet::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Step::Insert(k) => {
+                    let k = *k as u64;
+                    prop_assert_eq!(set.insert(k), oracle.insert(k));
+                }
+                Step::Remove(k) => {
+                    let k = *k as u64;
+                    prop_assert_eq!(set.remove(&k), oracle.remove(&k));
+                }
+                Step::Checkpoint => {
+                    let shape = set.tree().validate(true)
+                        .map_err(|e| TestCaseError::fail(format!("step {i}: {e:?}")))?;
+                    prop_assert_eq!(shape.keys, oracle.len());
+                }
+            }
+        }
+        let keys = set.collect_keys();
+        let want: Vec<u64> = oracle.iter().copied().collect();
+        prop_assert_eq!(keys, want);
+        set.tree().validate(true)
+            .map_err(|e| TestCaseError::fail(format!("final: {e:?}")))?;
+    }
+
+    #[test]
+    fn duplicate_and_missing_ops_are_exact(
+        keys in proptest::collection::vec(any::<u8>(), 1..100)
+    ) {
+        // Insert everything twice, remove everything twice: returns must
+        // alternate true/false exactly.
+        let set = ChromaticSet::<u64>::new();
+        let uniq: BTreeSet<u64> = keys.iter().map(|k| *k as u64).collect();
+        for &k in &uniq {
+            prop_assert!(set.insert(k));
+            prop_assert!(!set.insert(k));
+        }
+        for &k in &uniq {
+            prop_assert!(set.remove(&k));
+            prop_assert!(!set.remove(&k));
+        }
+        prop_assert_eq!(set.collect_keys().len(), 0);
+    }
+
+    #[test]
+    fn interleaved_ranges_never_cross(
+        a in proptest::collection::btree_set(any::<u8>(), 1..60),
+        b in proptest::collection::btree_set(any::<u8>(), 1..60),
+    ) {
+        // Insert range A, then B, remove A, the survivors must be B \ A.
+        let set = ChromaticSet::<u64>::new();
+        for &k in &a { set.insert(k as u64); }
+        for &k in &b { set.insert(k as u64); }
+        for &k in &a { set.remove(&(k as u64)); }
+        let want: Vec<u64> = b.difference(&a).map(|&k| k as u64).collect();
+        prop_assert_eq!(set.collect_keys(), want);
+        set.tree().validate(true)
+            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+    }
+}

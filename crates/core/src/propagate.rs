@@ -1,0 +1,249 @@
+//! `Propagate`: carrying update information to the root (paper Fig. 3
+//! lines 32–48), plus the two delegation variants BAT-Del (Fig. 13) and
+//! BAT-EagerDel (Fig. 14) and the timeout fallback that restores
+//! lock-freedom.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use chromatic::SentKey;
+use ebr::Guard;
+
+use crate::augment::Augmentation;
+use crate::refresh::{refresh_top, BatNode};
+use crate::stats::BatStats;
+use crate::version::{retire_version, PropStatus};
+
+/// Which propagate variant a tree runs (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelegationPolicy {
+    /// Plain BAT: double refresh, never wait (Fig. 3).
+    None,
+    /// BAT-Del: delegate after a failed *double* refresh (Fig. 13).
+    Del {
+        /// `None` = block until the delegatee finishes (paper default);
+        /// `Some(t)` = resume propagating ourselves after `t` (the
+        /// non-blocking fallback of Fig. 13 lines 19–21).
+        timeout: Option<Duration>,
+    },
+    /// BAT-EagerDel: delegate after a *single* failed refresh, and require
+    /// refreshes to observe stable child versions before moving up
+    /// (Fig. 14).
+    EagerDel {
+        /// As for [`DelegationPolicy::Del`].
+        timeout: Option<Duration>,
+    },
+}
+
+impl DelegationPolicy {
+    /// Short display name matching the paper's plot legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DelegationPolicy::None => "BAT",
+            DelegationPolicy::Del { .. } => "BAT-Del",
+            DelegationPolicy::EagerDel { .. } => "BAT-EagerDel",
+        }
+    }
+}
+
+/// Result of waiting on a delegation chain.
+enum WaitResult {
+    Done,
+    TimedOut,
+}
+
+/// `WaitForDelegatee` (Fig. 12 lines 1–7): spin on the chain head's `done`
+/// flag, hopping along `delegatee` pointers so a long chain costs one wait.
+///
+/// Safety of the chased pointers: every `PropStatus` we can reach is kept
+/// alive by the epoch pins of the still-running propagates that link to it
+/// (§6; see DESIGN.md for the pin-ordering argument).
+fn wait_for_delegatee(start: u64, timeout: Option<Duration>, stats: &BatStats) -> WaitResult {
+    let began = Instant::now();
+    let mut d = unsafe { &*(start as *const PropStatus) };
+    let mut spins = 0u32;
+    loop {
+        if d.done.load(Ordering::Acquire) {
+            return WaitResult::Done;
+        }
+        let next = d.delegatee.load(Ordering::Acquire);
+        if next != 0 {
+            d = unsafe { &*(next as *const PropStatus) };
+            continue;
+        }
+        spins += 1;
+        if spins & 0x3f == 0 {
+            // Single-core friendliness: hand the CPU to the delegatee.
+            std::thread::yield_now();
+            if let Some(t) = timeout {
+                if began.elapsed() >= t {
+                    stats.delegation_timeouts.incr();
+                    return WaitResult::TimedOut;
+                }
+            }
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Run `Propagate(key)` on the tree rooted at `entry` under `policy`.
+///
+/// Ensures that by return, every update to `key`'s leaf that happened
+/// before this call has *arrived at the root* (§4.1) — either carried by
+/// our own chain of refreshes or by a propagate we delegated to.
+pub fn propagate<K, V, A>(
+    entry: &BatNode<K, V, A>,
+    key: &SentKey<K>,
+    policy: DelegationPolicy,
+    stats: &BatStats,
+    guard: &Guard,
+) where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    stats.propagates.incr();
+    let ps: u64 = match policy {
+        DelegationPolicy::None => 0,
+        _ => PropStatus::alloc() as u64,
+    };
+    let mut refreshed: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<&BatNode<K, V, A>> = vec![entry];
+    let mut to_retire: Vec<u64> = Vec::new();
+
+    'outer: loop {
+        // Descend from the top of the stack until the next child on the
+        // search path is already refreshed or is a leaf (Fig. 3 37–41).
+        let mut next = *stack.last().expect("stack never empties before root");
+        loop {
+            let child_raw = if key < next.key() {
+                next.left_raw()
+            } else {
+                next.right_raw()
+            };
+            let child = unsafe { BatNode::<K, V, A>::from_raw(child_raw) };
+            stats.nodes_visited.incr();
+            if refreshed.contains(&child_raw) || child.is_leaf() {
+                break;
+            }
+            stack.push(child);
+            next = child;
+        }
+        let top = stack.pop().expect("descent keeps at least one node");
+
+        match policy {
+            DelegationPolicy::None => {
+                // Double refresh (Fig. 3 lines 43–45).
+                let r1 = refresh_top(top, 0, stats);
+                if r1.success {
+                    to_retire.push(r1.replaced);
+                } else {
+                    let r2 = refresh_top(top, 0, stats);
+                    if r2.success {
+                        to_retire.push(r2.replaced);
+                    }
+                    // Both failed: someone else's refresh covered us
+                    // (Fig. 3's guarantee); move on.
+                }
+            }
+            DelegationPolicy::Del { timeout } => {
+                let r1 = refresh_top(top, ps, stats);
+                if r1.success {
+                    to_retire.push(r1.replaced);
+                } else {
+                    let r2 = refresh_top(top, ps, stats);
+                    if r2.success {
+                        to_retire.push(r2.replaced);
+                    } else if !top.is_finalized() {
+                        if r2.blocker != 0 {
+                            // Delegate: publish the link, then wait
+                            // (Fig. 13 lines 16–24).
+                            stats.delegations.incr();
+                            let status = unsafe { &*(ps as *const PropStatus) };
+                            status.delegatee.store(r2.blocker, Ordering::Release);
+                            match wait_for_delegatee(r2.blocker, timeout, stats) {
+                                WaitResult::Done => break 'outer,
+                                WaitResult::TimedOut => {
+                                    // Resume ourselves (lock-free fallback):
+                                    // retry this node.
+                                    status.delegatee.store(0, Ordering::Release);
+                                    stack.push(top);
+                                    continue 'outer;
+                                }
+                            }
+                        } else {
+                            // No status on the winning version (can only
+                            // happen for the entry's initial version):
+                            // retry this node.
+                            stack.push(top);
+                            continue 'outer;
+                        }
+                    }
+                    // Failed on a finalized node: the replacement patch
+                    // inherited our arrival points (Def. 7); re-descend
+                    // will refresh the replacement.
+                }
+            }
+            DelegationPolicy::EagerDel { timeout } => {
+                // Fig. 14 lines 13–24: keep refreshing until a success
+                // observes stable child version pointers; delegate on any
+                // failure at a non-finalized node.
+                loop {
+                    let r = refresh_top(top, ps, stats);
+                    if r.success {
+                        to_retire.push(r.replaced);
+                        // Stability check (line 24): the children's
+                        // *current* versions must equal what we read.
+                        let l = unsafe { BatNode::<K, V, A>::from_raw(top.left_raw()) };
+                        let rn = unsafe { BatNode::<K, V, A>::from_raw(top.right_raw()) };
+                        if l.plugin.load() == r.vl && rn.plugin.load() == r.vr {
+                            break;
+                        }
+                        continue;
+                    }
+                    if top.is_finalized() {
+                        // As in Fig. 13's fall-through: the replacement
+                        // patch carries our arrival points; re-descend.
+                        break;
+                    }
+                    if r.blocker != 0 {
+                        stats.delegations.incr();
+                        let status = unsafe { &*(ps as *const PropStatus) };
+                        status.delegatee.store(r.blocker, Ordering::Release);
+                        match wait_for_delegatee(r.blocker, timeout, stats) {
+                            WaitResult::Done => break 'outer,
+                            WaitResult::TimedOut => {
+                                status.delegatee.store(0, Ordering::Release);
+                                continue; // retry refresh on this node
+                            }
+                        }
+                    }
+                    // blocker unavailable: plain retry
+                }
+            }
+        }
+
+        refreshed.insert(top.as_raw());
+        if top.as_raw() == entry.as_raw() {
+            break;
+        }
+    }
+
+    // Finish: release waiters, then reclaim (§6).
+    if ps != 0 {
+        unsafe { &*(ps as *const PropStatus) }
+            .done
+            .store(true, Ordering::Release);
+        // A PropStatus is safely retired at the end of the propagate that
+        // created it, even while still reachable (§6).
+        unsafe { guard.retire(ps as *mut PropStatus) };
+    }
+    // Once the root is refreshed (or our delegatee finished, which implies
+    // the same), every replaced version is unreachable from the root of
+    // the version tree (§6): retire the toRetire list.
+    for v in to_retire {
+        unsafe { retire_version::<K, V, A>(guard, v) };
+    }
+}

@@ -1,0 +1,409 @@
+//! Snapshots and sequential queries on the version tree.
+//!
+//! A query reads the root's version pointer once and thereby obtains an
+//! immutable snapshot of the entire version tree (§3.2): any sequential
+//! BST algorithm runs on it unmodified. This module implements the
+//! paper's query set — `Find`, rank, select, range count — plus generic
+//! range aggregation and ordered iteration.
+//!
+//! A [`Snapshot`] owns an epoch guard: the versions it references are
+//! protected from reclamation for as long as it lives (this is precisely
+//! the "long-running query" behaviour of EBR the paper describes in §6).
+
+use std::cmp::Ordering as Ord_;
+
+use chromatic::SentKey;
+
+use crate::augment::Augmentation;
+use crate::version::Version;
+
+/// An immutable snapshot of the set, as of the moment it was taken (its
+/// linearization point is the read of the root's version pointer).
+pub struct Snapshot<K, V, A: Augmentation<K, V>> {
+    root: u64, // *const Version
+    _guard: ebr::Guard,
+    _marker: std::marker::PhantomData<(K, V, A)>,
+}
+
+/// Compare a real key against a version's (sentinel-extended) key.
+#[inline]
+fn cmp_key<K: Ord>(k: &K, vkey: &SentKey<K>) -> Ord_ {
+    match vkey {
+        SentKey::Key(vk) => k.cmp(vk),
+        // Real keys sort below both sentinels.
+        SentKey::Inf1 | SentKey::Inf2 => Ord_::Less,
+    }
+}
+
+impl<K, V, A> Snapshot<K, V, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    /// Wrap a root version pointer read under `guard`.
+    pub(crate) fn new(root: u64, guard: ebr::Guard) -> Self {
+        Snapshot {
+            root,
+            _guard: guard,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    #[inline]
+    fn root(&self) -> &Version<K, V, A> {
+        unsafe { Version::from_raw(self.root) }
+    }
+
+    /// The snapshot's root version, for custom sequential descents over
+    /// the frozen version tree (e.g. the interval stabbing query in
+    /// [`crate::interval`]). The reference is valid for the snapshot's
+    /// lifetime; the version tree below it is immutable.
+    pub fn root_version(&self) -> &Version<K, V, A> {
+        self.root()
+    }
+
+    /// Number of keys in the snapshot — O(1) from the root's size field.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.root().size
+    }
+
+    /// True if the snapshot holds no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The augmentation value aggregated over the whole set — O(1).
+    #[inline]
+    pub fn aggregate(&self) -> A::Value {
+        self.root().aug.clone()
+    }
+
+    /// `Find` (paper Fig. 3 lines 25–31): standard BST search on the
+    /// version tree.
+    pub fn contains(&self, k: &K) -> bool {
+        self.find_leaf(k).is_some()
+    }
+
+    /// Point lookup returning the stored value.
+    pub fn get(&self, k: &K) -> Option<V> {
+        let leaf = self.find_leaf(k)?;
+        leaf.value.clone()
+    }
+
+    fn find_leaf(&self, k: &K) -> Option<&Version<K, V, A>> {
+        let mut v = self.root();
+        while !v.is_leaf() {
+            v = if cmp_key(k, &v.key) == Ord_::Less {
+                v.left_version()
+            } else {
+                v.right_version()
+            };
+        }
+        if v.key.as_key() == Some(k) {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Rank query (paper §7 "Queries"): the number of keys ≤ `k`.
+    /// One root-to-leaf descent, O(height).
+    pub fn rank(&self, k: &K) -> u64 {
+        let mut count = 0u64;
+        let mut v = self.root();
+        while !v.is_leaf() {
+            if cmp_key(k, &v.key) == Ord_::Less {
+                v = v.left_version();
+            } else {
+                count += v.left_version().size;
+                v = v.right_version();
+            }
+        }
+        if let Some(lk) = v.key.as_key() {
+            if lk <= k {
+                count += v.size; // 1 for a real leaf
+            }
+        }
+        count
+    }
+
+    /// The number of keys strictly less than `k`.
+    pub fn rank_exclusive(&self, k: &K) -> u64 {
+        let mut count = 0u64;
+        let mut v = self.root();
+        while !v.is_leaf() {
+            // Left subtree keys are < v.key; all are < k iff v.key ≤ k.
+            if cmp_key(k, &v.key) != Ord_::Greater {
+                v = v.left_version();
+            } else {
+                count += v.left_version().size;
+                v = v.right_version();
+            }
+        }
+        if let Some(lk) = v.key.as_key() {
+            if lk < k {
+                count += v.size;
+            }
+        }
+        count
+    }
+
+    /// Select query: the `i`-th smallest key (0-indexed) and its value.
+    /// One descent guided by size fields, O(height).
+    pub fn select(&self, mut i: u64) -> Option<(K, V)> {
+        let mut v = self.root();
+        if i >= v.size {
+            return None;
+        }
+        while !v.is_leaf() {
+            let lsz = v.left_version().size;
+            if i < lsz {
+                v = v.left_version();
+            } else {
+                i -= lsz;
+                v = v.right_version();
+            }
+        }
+        debug_assert_eq!(v.size, 1);
+        Some((v.key.as_key()?.clone(), v.value.clone()?))
+    }
+
+    /// Count of keys in `[lo, hi]` — two descents (the paper's range
+    /// query shape: "traverse two paths").
+    pub fn range_count(&self, lo: &K, hi: &K) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        self.rank(hi) - self.rank_exclusive(lo)
+    }
+
+    /// Aggregate the augmentation over keys in `[lo, hi]`, combining
+    /// O(height) precomputed subtree values.
+    pub fn range_aggregate(&self, lo: &K, hi: &K) -> A::Value {
+        if lo > hi {
+            return A::sentinel();
+        }
+        fn agg<K, V, A>(
+            v: &Version<K, V, A>,
+            lo: Option<&K>,
+            hi: Option<&K>,
+        ) -> A::Value
+        where
+            K: Ord + Clone + Send + Sync + 'static,
+            V: Clone + Send + Sync + 'static,
+            A: Augmentation<K, V>,
+        {
+            if lo.is_none() && hi.is_none() {
+                // Whole subtree inside the range: use its stored value.
+                return v.aug.clone();
+            }
+            if v.is_leaf() {
+                if let Some(k) = v.key.as_key() {
+                    let lo_ok = lo.is_none_or(|l| k >= l);
+                    let hi_ok = hi.is_none_or(|h| k <= h);
+                    if lo_ok && hi_ok {
+                        return v.aug.clone();
+                    }
+                }
+                return A::sentinel();
+            }
+            // Left subtree: keys < v.key; right: keys ≥ v.key.
+            let mut out = A::sentinel();
+            let left_nonempty = lo.is_none_or(|l| cmp_key(l, &v.key) == Ord_::Less);
+            if left_nonempty {
+                // hi is unconstrained for the left side if hi ≥ all left
+                // keys, i.e. hi ≥ v.key.
+                let hi2 = hi.filter(|h| cmp_key(*h, &v.key) == Ord_::Less);
+                out = A::combine(&out, &agg(v.left_version(), lo, hi2));
+            }
+            let right_nonempty = hi.is_none_or(|h| cmp_key(h, &v.key) != Ord_::Less);
+            if right_nonempty {
+                // lo is unconstrained for the right side if lo ≤ v.key.
+                let lo2 = lo.filter(|l| cmp_key(*l, &v.key) == Ord_::Greater);
+                out = A::combine(&out, &agg(v.right_version(), lo2, hi));
+            }
+            out
+        }
+        agg(self.root(), Some(lo), Some(hi))
+    }
+
+    /// Collect the keys (and values) in `[lo, hi]`, in order. O(height +
+    /// output) — the materializing variant of a range query.
+    pub fn range_collect(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        fn walk<K, V, A>(
+            v: &Version<K, V, A>,
+            lo: &K,
+            hi: &K,
+            out: &mut Vec<(K, V)>,
+        ) where
+            K: Ord + Clone + Send + Sync + 'static,
+            V: Clone + Send + Sync + 'static,
+            A: Augmentation<K, V>,
+        {
+            if v.is_leaf() {
+                if let (Some(k), Some(val)) = (v.key.as_key(), v.value.as_ref()) {
+                    if k >= lo && k <= hi {
+                        out.push((k.clone(), val.clone()));
+                    }
+                }
+                return;
+            }
+            if cmp_key(lo, &v.key) == Ord_::Less {
+                walk(v.left_version(), lo, hi, out);
+            }
+            if cmp_key(hi, &v.key) != Ord_::Less {
+                walk(v.right_version(), lo, hi, out);
+            }
+        }
+        if lo <= hi {
+            walk(self.root(), lo, hi, &mut out);
+        }
+        out
+    }
+
+    /// In-order iterator over all `(key, value)` pairs in the snapshot.
+    pub fn iter(&self) -> SnapIter<'_, K, V, A> {
+        SnapIter {
+            stack: vec![self.root()],
+        }
+    }
+
+    /// All keys, in order.
+    pub fn keys(&self) -> Vec<K> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+}
+
+/// In-order traversal over a snapshot's real leaves.
+pub struct SnapIter<'s, K, V, A: Augmentation<K, V>> {
+    stack: Vec<&'s Version<K, V, A>>,
+}
+
+impl<'s, K, V, A> Iterator for SnapIter<'s, K, V, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        while let Some(v) = self.stack.pop() {
+            if v.is_leaf() {
+                if let (Some(k), Some(val)) = (v.key.as_key(), v.value.as_ref()) {
+                    return Some((k.clone(), val.clone()));
+                }
+                continue; // sentinel leaf
+            }
+            // Right first so the left is popped (visited) first.
+            self.stack.push(v.right_version());
+            self.stack.push(v.left_version());
+        }
+        None
+    }
+}
+
+/// Lazy in-order iterator over the snapshot's entries within `[lo, hi]`.
+///
+/// Unlike [`Snapshot::range_collect`], nothing is materialized up front:
+/// the iterator keeps a descent stack and prunes subtrees outside the
+/// bounds, so `take(k)` over a huge range costs O(log n + k).
+pub struct SnapRangeIter<'s, K, V, A: Augmentation<K, V>> {
+    stack: Vec<&'s Version<K, V, A>>,
+    lo: K,
+    hi: K,
+}
+
+impl<K, V, A> Snapshot<K, V, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    /// Iterate entries with keys in `[lo, hi]`, in order, lazily.
+    pub fn range_iter(&self, lo: K, hi: K) -> SnapRangeIter<'_, K, V, A> {
+        let stack = if lo <= hi {
+            vec![self.root()]
+        } else {
+            Vec::new()
+        };
+        SnapRangeIter { stack, lo, hi }
+    }
+}
+
+impl<'s, K, V, A> Iterator for SnapRangeIter<'s, K, V, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        while let Some(v) = self.stack.pop() {
+            if v.is_leaf() {
+                if let (Some(k), Some(val)) = (v.key.as_key(), v.value.as_ref()) {
+                    if *k >= self.lo && *k <= self.hi {
+                        return Some((k.clone(), val.clone()));
+                    }
+                }
+                continue;
+            }
+            // Right pushed first so left pops first; prune via key bounds.
+            if cmp_key(&self.hi, &v.key) != Ord_::Less {
+                self.stack.push(v.right_version());
+            }
+            if cmp_key(&self.lo, &v.key) == Ord_::Less {
+                self.stack.push(v.left_version());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod range_iter_tests {
+    use crate::augment::SizeOnly;
+    use crate::map::BatMap;
+
+    #[test]
+    fn lazy_range_iter_matches_collect() {
+        let m = BatMap::<u64, u64, SizeOnly>::new();
+        for k in (0..300u64).filter(|k| k % 2 == 0) {
+            m.insert(k, k + 1);
+        }
+        let snap = m.snapshot();
+        for (lo, hi) in [(0u64, 299u64), (10, 20), (21, 21), (250, 100)] {
+            let lazy: Vec<_> = snap.range_iter(lo, hi).collect();
+            let eager = snap.range_collect(&lo, &hi);
+            assert_eq!(lazy, eager, "[{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn take_k_is_cheap_and_ordered() {
+        let m = BatMap::<u64, u64, SizeOnly>::new();
+        for k in 0..1_000u64 {
+            m.insert(k, k);
+        }
+        let snap = m.snapshot();
+        let first10: Vec<u64> = snap.range_iter(100, 900).map(|(k, _)| k).take(10).collect();
+        assert_eq!(first10, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_iter_equals_keys() {
+        let m = BatMap::<u64, u64, SizeOnly>::new();
+        for k in [5u64, 1, 9, 3] {
+            m.insert(k, k);
+        }
+        let snap = m.snapshot();
+        let iter_keys: Vec<u64> = snap.iter().map(|(k, _)| k).collect();
+        assert_eq!(iter_keys, snap.keys());
+        assert_eq!(iter_keys, vec![1, 3, 5, 9]);
+    }
+}

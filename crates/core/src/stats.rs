@@ -1,0 +1,134 @@
+//! Work counters matching the paper's §7 instrumentation ("Why Balancing
+//! Improves Throughput"): nodes traversed per propagate, nil versions
+//! filled per propagate, CASes attempted per propagate, plus delegation
+//! counts for the ablation experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed counter (cache-padded would be nicer; relaxed add is cheap
+/// enough for the statistics runs, and the counters can be ignored by
+/// the throughput runs since they are always-on fixed cost).
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Counters for one augmented tree instance.
+#[derive(Default)]
+pub struct BatStats {
+    /// Propagate invocations (== updates, successful or not).
+    pub propagates: Counter,
+    /// Nodes stepped through during propagate descents (the paper's
+    /// "nodes seen by a Propagate").
+    pub nodes_visited: Counter,
+    /// `RefreshNil` executions ("nil versions filled in").
+    pub nil_fixes: Counter,
+    /// Version-pointer CAS attempts.
+    pub cas_attempts: Counter,
+    /// Version-pointer CAS failures.
+    pub cas_failures: Counter,
+    /// Times a propagate delegated its remaining work (§5).
+    pub delegations: Counter,
+    /// Times a delegation wait timed out and the propagate resumed itself
+    /// (the lock-free fallback of Fig. 13 lines 19–21).
+    pub delegation_timeouts: Counter,
+}
+
+/// A plain-data snapshot of [`BatStats`], for printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub propagates: u64,
+    pub nodes_visited: u64,
+    pub nil_fixes: u64,
+    pub cas_attempts: u64,
+    pub cas_failures: u64,
+    pub delegations: u64,
+    pub delegation_timeouts: u64,
+}
+
+impl BatStats {
+    /// Copy out current values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            propagates: self.propagates.get(),
+            nodes_visited: self.nodes_visited.get(),
+            nil_fixes: self.nil_fixes.get(),
+            cas_attempts: self.cas_attempts.get(),
+            cas_failures: self.cas_failures.get(),
+            delegations: self.delegations.get(),
+            delegation_timeouts: self.delegation_timeouts.get(),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (for measuring one phase).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            propagates: self.propagates - earlier.propagates,
+            nodes_visited: self.nodes_visited - earlier.nodes_visited,
+            nil_fixes: self.nil_fixes - earlier.nil_fixes,
+            cas_attempts: self.cas_attempts - earlier.cas_attempts,
+            cas_failures: self.cas_failures - earlier.cas_failures,
+            delegations: self.delegations - earlier.delegations,
+            delegation_timeouts: self.delegation_timeouts - earlier.delegation_timeouts,
+        }
+    }
+
+    /// Average nodes seen per propagate (paper §7).
+    pub fn avg_nodes_per_propagate(&self) -> f64 {
+        self.nodes_visited as f64 / self.propagates.max(1) as f64
+    }
+
+    /// Average nil versions filled per propagate (paper §7).
+    pub fn avg_nil_fixes_per_propagate(&self) -> f64 {
+        self.nil_fixes as f64 / self.propagates.max(1) as f64
+    }
+
+    /// Average CASes attempted per propagate (paper §7).
+    pub fn avg_cas_per_propagate(&self) -> f64 {
+        self.cas_attempts as f64 / self.propagates.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = BatStats::default();
+        s.propagates.incr();
+        s.propagates.incr();
+        s.nodes_visited.add(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.propagates, 2);
+        assert_eq!(snap.nodes_visited, 10);
+        assert_eq!(snap.avg_nodes_per_propagate(), 5.0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let s = BatStats::default();
+        s.cas_attempts.add(5);
+        let a = s.snapshot();
+        s.cas_attempts.add(7);
+        let b = s.snapshot();
+        assert_eq!(b.delta(&a).cas_attempts, 7);
+    }
+}

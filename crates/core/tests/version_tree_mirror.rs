@@ -1,0 +1,116 @@
+//! The version tree mirrors the node tree (paper Fig. 4a): after
+//! quiescence, walking both in lockstep must show identical keys and
+//! correct size fields at every level (Invariant 24 / Corollary 25).
+
+use cbat_core::version::{Version, VersionSlot};
+use cbat_core::{BatMap, SizeOnly};
+use chromatic::Node;
+
+type N = Node<u64, u64, VersionSlot<u64, u64, SizeOnly>>;
+type V = Version<u64, u64, SizeOnly>;
+
+/// Walk node- and version-trees together; check key equality and the
+/// size invariant `size = left.size + right.size`; return leaf count.
+fn check_mirror(node: &N, version: &V) -> u64 {
+    assert_eq!(
+        node.key(),
+        &version.key,
+        "node/version key mismatch"
+    );
+    if node.is_leaf() {
+        assert!(version.is_leaf(), "leaf node with internal version");
+        let expect = if node.key().as_key().is_some() { 1 } else { 0 };
+        assert_eq!(version.size, expect, "leaf size rule (Definition 1)");
+        return version.size;
+    }
+    assert!(!version.is_leaf(), "internal node with leaf version");
+    let ln = unsafe { N::from_raw(node.left_raw()) };
+    let rn = unsafe { N::from_raw(node.right_raw()) };
+    let l = check_mirror(ln, version.left_version());
+    let r = check_mirror(rn, version.right_version());
+    assert_eq!(
+        version.size,
+        l + r,
+        "Invariant 24: size = left.size + right.size"
+    );
+    version.size
+}
+
+fn assert_mirrors(map: &BatMap<u64, u64, SizeOnly>) {
+    let guard = ebr::pin();
+    let entry = map.node_tree().entry();
+    let vroot_raw = entry.plugin.load();
+    assert_ne!(vroot_raw, 0, "entry version must be non-nil");
+    let vroot = unsafe { V::from_raw(vroot_raw) };
+    let total = check_mirror(entry, vroot);
+    assert_eq!(total, map.len(), "root size equals reported len");
+    drop(guard);
+}
+
+#[test]
+fn mirror_after_sequential_ops() {
+    let m = BatMap::<u64, u64, SizeOnly>::new();
+    assert_mirrors(&m);
+    for k in 0..500u64 {
+        m.insert(k, k);
+    }
+    assert_mirrors(&m);
+    for k in (0..500u64).step_by(3) {
+        m.remove(&k);
+    }
+    assert_mirrors(&m);
+}
+
+#[test]
+fn mirror_after_rotation_heavy_ops() {
+    let m = BatMap::<u64, u64, SizeOnly>::new();
+    // Sorted runs maximize rotations and nil-version patches.
+    for k in 0..2_000u64 {
+        m.insert(k, k);
+    }
+    for k in (2_000..4_000u64).rev() {
+        m.insert(k, k);
+    }
+    assert_mirrors(&m);
+}
+
+#[test]
+fn mirror_after_concurrent_stress() {
+    use std::sync::Arc;
+    let m = Arc::new(BatMap::<u64, u64, SizeOnly>::new());
+    let handles: Vec<_> = (0..6u64)
+        .map(|t| {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let mut x = t * 31 + 1;
+                for _ in 0..3_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % 512;
+                    if x & 1 == 0 {
+                        m.insert(k, k);
+                    } else {
+                        m.remove(&k);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Quiescent now. Note: node versions may be *stale mid-tree* only if
+    // no operation's propagate covered them — but every propagate runs to
+    // the root before returning, so after joining all threads, the whole
+    // root-reachable version tree is consistent.
+    assert_mirrors(&m);
+    ebr::flush();
+}
+
+#[test]
+fn mirror_after_bulk_build() {
+    let pairs: Vec<(u64, u64)> = (0..1_357).map(|k| (k * 2, k)).collect();
+    let m = BatMap::<u64, u64, SizeOnly>::bulk_build(pairs);
+    assert_mirrors(&m);
+}

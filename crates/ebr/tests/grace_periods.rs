@@ -1,0 +1,113 @@
+//! EBR grace-period semantics under adversarial pin patterns.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[derive(Clone)]
+struct Counter(Arc<AtomicUsize>);
+
+struct OnDrop(Counter);
+impl Drop for OnDrop {
+    fn drop(&mut self) {
+        self.0 .0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn objects_retired_under_my_pin_survive_my_pin() {
+    let freed = Counter(Arc::new(AtomicUsize::new(0)));
+    let outer = ebr::pin();
+    let p = Box::into_raw(Box::new(OnDrop(freed.clone())));
+    unsafe { outer.retire(p) };
+    // Other threads churn epochs as hard as they can.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..200 {
+                    let g = ebr::pin();
+                    let junk = Box::into_raw(Box::new(0u64));
+                    unsafe { g.retire(junk) };
+                    drop(g);
+                    ebr::collect();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        freed.0.load(Ordering::SeqCst),
+        0,
+        "object freed while the retiring pin was still live"
+    );
+    drop(outer);
+    ebr::flush();
+    ebr::flush();
+    assert_eq!(freed.0.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn interleaved_pins_never_free_visible_objects() {
+    // Writer publishes boxes; readers hold pins across reads; a freed
+    // object would be caught by the canary value check.
+    use std::sync::atomic::AtomicPtr;
+    const CANARY: u64 = 0xFEEDFACE;
+    let slot: Arc<AtomicPtr<u64>> = Arc::new(AtomicPtr::new(Box::into_raw(Box::new(CANARY))));
+    let stop = Arc::new(AtomicUsize::new(0));
+    let writer = {
+        let slot = slot.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            for _ in 0..5_000 {
+                let g = ebr::pin();
+                let new = Box::into_raw(Box::new(CANARY));
+                let old = slot.swap(new, Ordering::AcqRel);
+                unsafe { g.retire(old) };
+            }
+            stop.store(1, Ordering::SeqCst);
+        })
+    };
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let slot = slot.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while stop.load(Ordering::SeqCst) == 0 {
+                    let g = ebr::pin();
+                    let p = slot.load(Ordering::Acquire);
+                    let v = unsafe { *p };
+                    assert_eq!(v, CANARY, "read freed memory");
+                    drop(g);
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    // Final cleanup of the last box.
+    let last = slot.load(Ordering::Acquire);
+    let g = ebr::pin();
+    unsafe { g.retire(last) };
+    drop(g);
+    ebr::flush();
+}
+
+#[test]
+fn stats_are_monotone() {
+    let s0 = ebr::stats();
+    {
+        let g = ebr::pin();
+        for _ in 0..100 {
+            let p = Box::into_raw(Box::new(1u8));
+            unsafe { g.retire(p) };
+        }
+    }
+    ebr::flush();
+    let s1 = ebr::stats();
+    assert!(s1.retired >= s0.retired + 100);
+    assert!(s1.freed >= s0.freed);
+    assert!(s1.epoch >= s0.epoch);
+}

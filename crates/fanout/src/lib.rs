@@ -1,0 +1,461 @@
+//! # fanout — a higher-fanout versioned search tree (VerlibBTree stand-in)
+//!
+//! Stand-in for VerlibBTree (Blelloch & Wei, PPoPP 2024 \[4\]), the paper's
+//! fastest unaugmented competitor. The properties the evaluation depends
+//! on, which this implementation reproduces:
+//!
+//! * **fanout 4–22 fat nodes** ⇒ shallow trees and good cache behaviour,
+//!   so point operations beat binary trees;
+//! * **O(1) snapshots** via versioned pointers ⇒ linearizable range
+//!   queries by snapshot traversal, costing Θ(log n + range);
+//! * **no augmentation** ⇒ rank/size queries must scan, Θ(#keys ≤ k).
+//!
+//! Mechanism: an immutable (copy-on-write) B-tree under a single atomic
+//! root pointer. Updates copy the root-to-leaf path (structurally sharing
+//! everything else) and publish with one CAS; readers snapshot by loading
+//! the root under an epoch guard. Replaced path nodes are epoch-retired.
+//!
+//! Substitution notes (DESIGN.md §2.5): verlib's versioned pointers allow
+//! disjoint updates to proceed without conflicting; our single root CAS
+//! serializes writers instead. On the single-core evaluation machine this
+//! difference is unobservable (no parallel speedup exists to lose), while
+//! the cache/fanout and snapshot cost properties — the ones the paper's
+//! figures exercise — are preserved. Deletions do not rebalance (no
+//! merging); persistent B-trees tolerate thin leaves with the same
+//! asymptotics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum keys per leaf before splitting.
+const LEAF_CAP: usize = 16;
+/// Maximum children per internal node before splitting.
+const NODE_CAP: usize = 16;
+
+enum BNode {
+    /// Sorted keys.
+    Leaf(Vec<u64>),
+    /// `seps[i]` is the smallest key reachable under `children[i + 1]`.
+    Internal { seps: Vec<u64>, children: Vec<u64> },
+}
+
+impl BNode {
+    fn alloc(self) -> u64 {
+        Box::into_raw(Box::new(self)) as u64
+    }
+
+    #[inline]
+    unsafe fn from_raw<'g>(raw: u64) -> &'g BNode {
+        unsafe { &*(raw as *const BNode) }
+    }
+}
+
+/// The higher-fanout unaugmented set.
+pub struct FanoutSet {
+    root: AtomicU64,
+}
+
+unsafe impl Send for FanoutSet {}
+unsafe impl Sync for FanoutSet {}
+
+/// An O(1) snapshot: the root as of some instant, pinned by a guard.
+pub struct FanoutSnapshot {
+    root: u64,
+    _guard: ebr::Guard,
+}
+
+/// Result of a path-copying update attempt.
+enum Updated {
+    /// New subtree root.
+    One(u64),
+    /// The subtree split: (left, separator, right).
+    Split(u64, u64, u64),
+    /// No change needed (key already present/absent).
+    Noop,
+}
+
+impl FanoutSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        FanoutSet {
+            root: AtomicU64::new(BNode::Leaf(Vec::new()).alloc()),
+        }
+    }
+
+    /// Insert `k`; `true` iff newly added.
+    pub fn insert(&self, k: u64) -> bool {
+        self.update(k, true)
+    }
+
+    /// Remove `k`; `true` iff present.
+    pub fn remove(&self, k: u64) -> bool {
+        self.update(k, false)
+    }
+
+    fn update(&self, k: u64, insert: bool) -> bool {
+        loop {
+            let guard = ebr::pin();
+            let root = self.root.load(Ordering::Acquire);
+            let mut replaced: Vec<u64> = Vec::new();
+            let outcome = Self::update_rec(root, k, insert, &mut replaced);
+            let new_root = match outcome {
+                Updated::Noop => return false,
+                Updated::One(r) => r,
+                Updated::Split(l, sep, r) => BNode::Internal {
+                    seps: vec![sep],
+                    children: vec![l, r],
+                }
+                .alloc(),
+            };
+            if self
+                .root
+                .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                for raw in replaced {
+                    unsafe { guard.retire(raw as *mut BNode) };
+                }
+                return true;
+            }
+            // Lost the race: free the unpublished copies and retry.
+            Self::dispose_new(new_root, &replaced);
+        }
+    }
+
+    /// Recursively copy the path for an update. `replaced` collects the
+    /// old nodes to retire on success.
+    fn update_rec(raw: u64, k: u64, insert: bool, replaced: &mut Vec<u64>) -> Updated {
+        match unsafe { BNode::from_raw(raw) } {
+            BNode::Leaf(keys) => match keys.binary_search(&k) {
+                Ok(i) => {
+                    if insert {
+                        return Updated::Noop;
+                    }
+                    let mut new = keys.clone();
+                    new.remove(i);
+                    replaced.push(raw);
+                    Updated::One(BNode::Leaf(new).alloc())
+                }
+                Err(i) => {
+                    if !insert {
+                        return Updated::Noop;
+                    }
+                    let mut new = keys.clone();
+                    new.insert(i, k);
+                    replaced.push(raw);
+                    if new.len() <= LEAF_CAP {
+                        Updated::One(BNode::Leaf(new).alloc())
+                    } else {
+                        let right = new.split_off(new.len() / 2);
+                        let sep = right[0];
+                        Updated::Split(
+                            BNode::Leaf(new).alloc(),
+                            sep,
+                            BNode::Leaf(right).alloc(),
+                        )
+                    }
+                }
+            },
+            BNode::Internal { seps, children } => {
+                let idx = seps.partition_point(|s| *s <= k);
+                match Self::update_rec(children[idx], k, insert, replaced) {
+                    Updated::Noop => Updated::Noop,
+                    Updated::One(c) => {
+                        let mut ch = children.clone();
+                        ch[idx] = c;
+                        replaced.push(raw);
+                        Updated::One(
+                            BNode::Internal {
+                                seps: seps.clone(),
+                                children: ch,
+                            }
+                            .alloc(),
+                        )
+                    }
+                    Updated::Split(l, sep, r) => {
+                        let mut ch = children.clone();
+                        let mut sp = seps.clone();
+                        ch[idx] = l;
+                        ch.insert(idx + 1, r);
+                        sp.insert(idx, sep);
+                        replaced.push(raw);
+                        if ch.len() <= NODE_CAP {
+                            Updated::One(
+                                BNode::Internal {
+                                    seps: sp,
+                                    children: ch,
+                                }
+                                .alloc(),
+                            )
+                        } else {
+                            // With `c` children there are `c - 1` seps:
+                            // left keeps mid children / mid - 1 seps, the
+                            // mid-th sep is promoted, the rest go right.
+                            let mid = ch.len() / 2;
+                            let rch = ch.split_off(mid);
+                            let mut rsp = sp.split_off(mid - 1);
+                            let promoted = rsp.remove(0);
+                            Updated::Split(
+                                BNode::Internal {
+                                    seps: sp,
+                                    children: ch,
+                                }
+                                .alloc(),
+                                promoted,
+                                BNode::Internal {
+                                    seps: rsp,
+                                    children: rch,
+                                }
+                                .alloc(),
+                            )
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Free the freshly allocated copies of a failed update. Old nodes
+    /// (in `replaced`) are shared with the live tree and must survive.
+    fn dispose_new(new_root: u64, replaced: &[u64]) {
+        // New nodes are exactly those reachable from new_root that are not
+        // reachable from the live tree; they form the copied path (plus
+        // splits), and their children are either other new nodes or shared
+        // old subtrees. Walk down: a node is "new" iff it was just
+        // allocated — we detect by pointer inequality with any replaced
+        // node's children. Simplest sound approach: free the copied path
+        // by walking only nodes we allocated (the path). We reconstruct by
+        // noting every new node's children that are also new appear at the
+        // position the update descended. Rather than re-deriving, mark:
+        // all new allocations happened after `replaced` was filled;
+        // conservatively, free the path iteratively.
+        let mut stack = vec![new_root];
+        let old: std::collections::HashSet<u64> = replaced.iter().copied().collect();
+        // Children of new nodes that are NOT new are children of some
+        // replaced node too (structural sharing). Build that set.
+        let mut shared = std::collections::HashSet::new();
+        for &r in replaced {
+            if let BNode::Internal { children, .. } = unsafe { BNode::from_raw(r) } {
+                for &c in children {
+                    shared.insert(c);
+                }
+            }
+        }
+        while let Some(raw) = stack.pop() {
+            if shared.contains(&raw) || old.contains(&raw) {
+                continue; // shared with the live tree
+            }
+            if let BNode::Internal { children, .. } = unsafe { BNode::from_raw(raw) } {
+                for &c in children {
+                    stack.push(c);
+                }
+            }
+            drop(unsafe { Box::from_raw(raw as *mut BNode) });
+        }
+    }
+
+    /// Take an O(1) snapshot.
+    pub fn snapshot(&self) -> FanoutSnapshot {
+        let guard = ebr::pin();
+        FanoutSnapshot {
+            root: self.root.load(Ordering::Acquire),
+            _guard: guard,
+        }
+    }
+
+    /// Linearizable membership.
+    pub fn contains(&self, k: u64) -> bool {
+        self.snapshot().contains(k)
+    }
+
+    /// Θ(n) size (unaugmented).
+    pub fn len_slow(&self) -> u64 {
+        self.snapshot().range_count(0, u64::MAX)
+    }
+}
+
+impl Default for FanoutSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for FanoutSet {
+    fn drop(&mut self) {
+        fn walk(raw: u64) {
+            if let BNode::Internal { children, .. } = unsafe { BNode::from_raw(raw) } {
+                for &c in children {
+                    walk(c);
+                }
+            }
+            drop(unsafe { Box::from_raw(raw as *mut BNode) });
+        }
+        walk(self.root.load(Ordering::Acquire));
+    }
+}
+
+impl FanoutSnapshot {
+    /// Membership within the snapshot, O(log_F n).
+    pub fn contains(&self, k: u64) -> bool {
+        let mut raw = self.root;
+        loop {
+            match unsafe { BNode::from_raw(raw) } {
+                BNode::Leaf(keys) => return keys.binary_search(&k).is_ok(),
+                BNode::Internal { seps, children } => {
+                    raw = children[seps.partition_point(|s| *s <= k)];
+                }
+            }
+        }
+    }
+
+    /// Count keys in `[lo, hi]` — Θ(log n + range/F) snapshot traversal.
+    pub fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        fn rec(raw: u64, lo: u64, hi: u64) -> u64 {
+            match unsafe { BNode::from_raw(raw) } {
+                BNode::Leaf(keys) => {
+                    let a = keys.partition_point(|k| *k < lo);
+                    let b = keys.partition_point(|k| *k <= hi);
+                    (b - a) as u64
+                }
+                BNode::Internal { seps, children } => {
+                    let first = seps.partition_point(|s| *s <= lo);
+                    let last = seps.partition_point(|s| *s <= hi);
+                    (first..=last).map(|i| rec(children[i], lo, hi)).sum()
+                }
+            }
+        }
+        rec(self.root, lo, hi)
+    }
+
+    /// Collect keys in `[lo, hi]`.
+    pub fn range_collect(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        fn rec(raw: u64, lo: u64, hi: u64, out: &mut Vec<u64>) {
+            match unsafe { BNode::from_raw(raw) } {
+                BNode::Leaf(keys) => {
+                    for &k in keys.iter().filter(|k| **k >= lo && **k <= hi) {
+                        out.push(k);
+                    }
+                }
+                BNode::Internal { seps, children } => {
+                    let first = seps.partition_point(|s| *s <= lo);
+                    let last = seps.partition_point(|s| *s <= hi);
+                    for i in first..=last {
+                        rec(children[i], lo, hi, out);
+                    }
+                }
+            }
+        }
+        if lo <= hi {
+            rec(self.root, lo, hi, &mut out);
+        }
+        out
+    }
+
+    /// Rank (keys ≤ k) — Θ(#keys ≤ k) scan: unaugmented cost model.
+    pub fn rank(&self, k: u64) -> u64 {
+        self.range_count(0, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_contains_remove() {
+        let s = FanoutSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn splits_preserve_order() {
+        let s = FanoutSet::new();
+        // k -> k*7919 mod 10007 is a bijection (prime modulus).
+        for k in 0..10_007u64 {
+            assert!(s.insert(k * 7919 % 10_007), "{k}");
+        }
+        let snap = s.snapshot();
+        let all = snap.range_collect(0, u64::MAX);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(all, sorted, "in-order traversal must be sorted+unique");
+    }
+
+    #[test]
+    fn sequential_oracle() {
+        use std::collections::BTreeSet;
+        let s = FanoutSet::new();
+        let mut oracle = BTreeSet::new();
+        let mut x = 31337u64;
+        for _ in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 300;
+            if x & 1 == 0 {
+                assert_eq!(s.insert(k), oracle.insert(k), "insert {k}");
+            } else {
+                assert_eq!(s.remove(k), oracle.remove(&k), "remove {k}");
+            }
+        }
+        let got = s.snapshot().range_collect(0, u64::MAX);
+        let want: Vec<u64> = oracle.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshots_are_stable() {
+        let s = FanoutSet::new();
+        for k in 0..500 {
+            s.insert(k);
+        }
+        let snap = s.snapshot();
+        for k in 0..250 {
+            s.remove(k);
+        }
+        assert_eq!(snap.range_count(0, 499), 500, "old snapshot frozen");
+        assert_eq!(s.snapshot().range_count(0, 499), 250);
+    }
+
+    #[test]
+    fn rank_counts_leq() {
+        let s = FanoutSet::new();
+        for k in (0..1000).step_by(10) {
+            s.insert(k);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.rank(0), 1);
+        assert_eq!(snap.rank(9), 1);
+        assert_eq!(snap.rank(990), 100);
+    }
+
+    #[test]
+    fn concurrent_writers_no_lost_updates() {
+        let s = Arc::new(FanoutSet::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        assert!(s.insert(t * 10_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len_slow(), 8000);
+        ebr::flush();
+    }
+}

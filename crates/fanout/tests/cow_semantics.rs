@@ -1,0 +1,91 @@
+//! Copy-on-write semantics of the fanout tree: structural sharing must
+//! never let an update damage a published snapshot, and the root CAS must
+//! never lose updates.
+
+use std::sync::Arc;
+
+use fanout::FanoutSet;
+
+#[test]
+fn snapshots_share_structure_safely() {
+    let s = FanoutSet::new();
+    for k in 0..5_000u64 {
+        s.insert(k);
+    }
+    let snaps: Vec<_> = (0..10)
+        .map(|i| {
+            // Interleave snapshots with updates.
+            for k in 0..100u64 {
+                s.remove(i * 100 + k);
+            }
+            (i, s.snapshot())
+        })
+        .collect();
+    for (i, snap) in &snaps {
+        let expect = 5_000 - (i + 1) * 100;
+        assert_eq!(
+            snap.range_count(0, u64::MAX),
+            expect,
+            "snapshot {i} corrupted"
+        );
+    }
+}
+
+#[test]
+fn mixed_concurrent_workload_consistent() {
+    use std::collections::BTreeSet;
+    let s = Arc::new(FanoutSet::new());
+    // Disjoint ranges; verify the union at the end.
+    let handles: Vec<_> = (0..6u64)
+        .map(|t| {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                let mut mine = BTreeSet::new();
+                let mut x = t + 1;
+                for _ in 0..2_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = t * 10_000 + x % 1_000;
+                    if x & 1 == 0 {
+                        assert_eq!(s.insert(k), mine.insert(k));
+                    } else {
+                        assert_eq!(s.remove(k), mine.remove(&k));
+                    }
+                }
+                mine
+            })
+        })
+        .collect();
+    let mut expect = BTreeSet::new();
+    for h in handles {
+        expect.extend(h.join().unwrap());
+    }
+    let got = s.snapshot().range_collect(0, u64::MAX);
+    let want: Vec<u64> = expect.into_iter().collect();
+    assert_eq!(got, want);
+    ebr::flush();
+}
+
+#[test]
+fn deep_trees_from_dense_inserts() {
+    let s = FanoutSet::new();
+    const N: u64 = 60_000;
+    for k in 0..N {
+        s.insert(k);
+    }
+    assert_eq!(s.len_slow(), N);
+    // Spot-check membership at the extremes and interior.
+    assert!(s.contains(0));
+    assert!(s.contains(N - 1));
+    assert!(s.contains(N / 2));
+    assert!(!s.contains(N));
+    // Range math at fanout-node boundaries.
+    for lo in [0u64, 15, 16, 17, 255, 256, 4_095, 4_096] {
+        assert_eq!(
+            s.snapshot().range_count(lo, lo + 100),
+            101.min(N.saturating_sub(lo)),
+            "boundary at {lo}"
+        );
+    }
+}

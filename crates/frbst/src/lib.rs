@@ -1,0 +1,304 @@
+//! # frbst — the lock-free unbalanced augmented BST of Fatourou & Ruppert
+//!
+//! FR-BST (DISC 2024 \[13\]) is the paper's principal augmented baseline:
+//! the same versioning/propagation scheme as BAT, applied to the
+//! *unbalanced* lock-free leaf-oriented BST of Ellen, Fatourou, Helga and
+//! Ruppert \[11\] instead of a chromatic tree.
+//!
+//! Implementation note: our chromatic substrate with rebalancing disabled
+//! and all weights pinned to 1 *is* the \[11\] BST — inserts and deletes use
+//! the identical patch-replacing SCXs (paper Fig. 2), and the balancing
+//! steps are simply never taken (§3.1 describes the chromatic tree as
+//! exactly this BST plus decoupled rebalancing). So FR-BST here is
+//! `cbat_core::BatMap` constructed in unbalanced mode, re-exported under
+//! its own name with baseline-appropriate defaults (no delegation, as in
+//! the paper's FR-BST configuration; delegating variants are available
+//! because §5 notes the optimization also applies to FR-BST).
+//!
+//! ## Example
+//!
+//! ```
+//! use frbst::FrSet;
+//!
+//! let s = FrSet::new();
+//! s.insert(2);
+//! s.insert(9);
+//! assert_eq!(s.len(), 2);
+//! assert_eq!(s.rank(&5), 1);
+//! ```
+
+use cbat_core::{Augmentation, BatMap, DelegationPolicy, SizeOnly};
+
+/// The FR-BST map: unbalanced node tree + FR augmentation.
+pub struct FrMap<K, V, A = SizeOnly>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    inner: BatMap<K, V, A>,
+}
+
+impl<K, V, A> FrMap<K, V, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    /// FR-BST as evaluated in the paper: unbalanced, no delegation.
+    pub fn new() -> Self {
+        FrMap {
+            inner: BatMap::new_unbalanced(),
+        }
+    }
+
+    /// FR-BST with delegation (§5's remark that delegation also speeds up
+    /// the original augmented unbalanced BST).
+    pub fn with_delegation(policy: DelegationPolicy) -> Self {
+        FrMap {
+            inner: BatMap::new_unbalanced_with_policy(policy),
+        }
+    }
+
+    /// Access the shared augmented-map API.
+    pub fn as_map(&self) -> &BatMap<K, V, A> {
+        &self.inner
+    }
+
+    /// Insert `k → v`; `true` iff `k` was absent.
+    pub fn insert(&self, k: K, v: V) -> bool {
+        self.inner.insert(k, v)
+    }
+
+    /// Remove `k`; `true` iff present.
+    pub fn remove(&self, k: &K) -> bool {
+        self.inner.remove(k)
+    }
+
+    /// Snapshot-based membership (version-tree `Find`).
+    pub fn contains(&self, k: &K) -> bool {
+        self.inner.contains(k)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, k: &K) -> Option<V> {
+        self.inner.get(k)
+    }
+
+    /// Key count, O(1) from the root version.
+    pub fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Keys ≤ k — O(height), which is O(n) worst case here (unbalanced!).
+    pub fn rank(&self, k: &K) -> u64 {
+        self.inner.rank(k)
+    }
+
+    /// i-th smallest key.
+    pub fn select(&self, i: u64) -> Option<(K, V)> {
+        self.inner.select(i)
+    }
+
+    /// Keys in `[lo, hi]`.
+    pub fn range_count(&self, lo: &K, hi: &K) -> u64 {
+        self.inner.range_count(lo, hi)
+    }
+
+    /// Augmentation aggregate over `[lo, hi]`.
+    pub fn range_aggregate(&self, lo: &K, hi: &K) -> A::Value {
+        self.inner.range_aggregate(lo, hi)
+    }
+
+    /// Snapshot of the set.
+    pub fn snapshot(&self) -> cbat_core::Snapshot<K, V, A> {
+        self.inner.snapshot()
+    }
+}
+
+impl<K, V, A> Default for FrMap<K, V, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The FR-BST set.
+pub struct FrSet<K>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+{
+    map: FrMap<K, ()>,
+}
+
+impl<K> FrSet<K>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+{
+    /// Empty FR-BST set.
+    pub fn new() -> Self {
+        FrSet { map: FrMap::new() }
+    }
+
+    /// Insert `k`.
+    pub fn insert(&self, k: K) -> bool {
+        self.map.insert(k, ())
+    }
+
+    /// Remove `k`.
+    pub fn remove(&self, k: &K) -> bool {
+        self.map.remove(k)
+    }
+
+    /// Membership.
+    pub fn contains(&self, k: &K) -> bool {
+        self.map.contains(k)
+    }
+
+    /// Size, O(1).
+    pub fn len(&self) -> u64 {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Keys ≤ k.
+    pub fn rank(&self, k: &K) -> u64 {
+        self.map.rank(k)
+    }
+
+    /// i-th smallest key.
+    pub fn select(&self, i: u64) -> Option<K> {
+        self.map.select(i).map(|(k, _)| k)
+    }
+
+    /// Keys in `[lo, hi]`.
+    pub fn range_count(&self, lo: &K, hi: &K) -> u64 {
+        self.map.range_count(lo, hi)
+    }
+
+    /// The underlying map.
+    pub fn as_map(&self) -> &FrMap<K, ()> {
+        &self.map
+    }
+}
+
+impl<K> Default for FrSet<K>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_set_semantics() {
+        let s = FrSet::new();
+        assert!(s.insert(5u64));
+        assert!(!s.insert(5));
+        assert!(s.contains(&5));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(&5));
+        assert!(!s.remove(&5));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn never_rebalances() {
+        let s = FrSet::new();
+        for k in 0..2000u64 {
+            s.insert(k);
+        }
+        assert_eq!(
+            s.as_map().as_map().node_tree().stats.total_rebalances(),
+            0,
+            "FR-BST must never rotate"
+        );
+        // Sorted insertion into an unbalanced tree produces a long spine.
+        let shape = s
+            .as_map()
+            .as_map()
+            .node_tree()
+            .validate(false)
+            .expect("structurally valid");
+        assert!(
+            shape.height >= 1000,
+            "expected a degenerate spine, height = {}",
+            shape.height
+        );
+    }
+
+    #[test]
+    fn order_statistics_match_balanced() {
+        let fr = FrSet::new();
+        let bat = cbat_core::BatSet::<u64>::new();
+        let mut x = 99u64;
+        for _ in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 500;
+            if x & 1 == 0 {
+                assert_eq!(fr.insert(k), bat.insert(k));
+            } else {
+                assert_eq!(fr.remove(&k), bat.remove(&k));
+            }
+        }
+        assert_eq!(fr.len(), bat.len());
+        for probe in [0u64, 100, 250, 499] {
+            assert_eq!(fr.rank(&probe), bat.rank(&probe), "rank {probe}");
+        }
+        for i in 0..fr.len().min(20) {
+            assert_eq!(fr.select(i), bat.select(i), "select {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_converge() {
+        let s = Arc::new(FrSet::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        s.insert(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 8 * 500);
+        ebr::flush();
+    }
+
+    #[test]
+    fn range_queries_on_snapshot() {
+        let m = FrMap::<u64, u64>::new();
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.range_count(&10, &19), 10);
+        let snap = m.snapshot();
+        assert_eq!(snap.range_collect(&5, &7).len(), 3);
+    }
+}

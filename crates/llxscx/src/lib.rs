@@ -1,0 +1,667 @@
+//! LLX/SCX: load-link-extended / store-conditional-extended primitives built
+//! from single-word CAS, after Brown, Ellen and Ruppert (PODC 2013) \[6\],
+//! with the *immortal descriptor* refinement of Arbel-Raviv and Brown
+//! (DISC 2017) \[2\] so that SCX descriptors are never allocated or freed.
+//!
+//! These primitives coordinate all updates to the node trees in this
+//! workspace (the chromatic tree and the unbalanced FR-BST): every tree
+//! update LLXes a small set of *records* (nodes), then SCXes to atomically
+//! swing one child pointer and *finalize* the removed nodes.
+//!
+//! # Protocol summary
+//!
+//! * Every record embeds a [`RecordHeader`]: an `info` word and a `marked`
+//!   flag. `info` packs `(thread id, sequence number)` of the SCX that most
+//!   recently froze the record. Sequence numbers are per-thread and
+//!   monotone, so info values are unique forever — the freeze CAS has no ABA.
+//! * Each registered thread owns one immortal descriptor in a global table.
+//!   Starting an SCX bumps the descriptor's sequence number (invalidating
+//!   stale helpers), writes the operation fields, and then *freezes* each
+//!   record in `V` by CASing its `info` from the value observed by LLX to
+//!   the new `(tid, seq)` tag.
+//! * If every freeze succeeds the descriptor's `allFrozen` bit is set, the
+//!   records in `R ⊆ V` are marked (finalized), the target field is CASed
+//!   from `old` to `new`, and the state becomes *Committed*. If a freeze
+//!   fails because an unrelated SCX got there first, the state becomes
+//!   *Aborted* (frozen-by-aborted counts as unfrozen for later LLXes).
+//! * Any thread that encounters an in-progress SCX helps it to completion
+//!   before retrying its own operation, which makes the whole construction
+//!   lock-free.
+//!
+//! Stale helpers of a recycled descriptor are harmless: every status
+//! transition CASes the full `(seq, allFrozen, state)` word, so a helper of
+//! a finished operation fails its CASes; its only unguarded side effects —
+//! re-marking `R` members and re-CASing the target field — are idempotent
+//! (marking is monotone and only reachable on the committed path; the field
+//! CAS of a finished operation always fails because child-pointer values
+//! never recur while any helper can hold them, by epoch reclamation).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crossbeam::utils::CachePadded;
+
+/// Maximum records an SCX can freeze. The chromatic tree needs at most 5
+/// (grandparent, parent, node, sibling, nephew).
+pub const MAX_V: usize = 8;
+
+/// Number of descriptor slots; indexed by [`ebr::thread_id`].
+pub const MAX_THREADS: usize = ebr::MAX_THREADS;
+
+// ---------------------------------------------------------------------------
+// Info tags: (tid, seq) packed in a u64.
+// ---------------------------------------------------------------------------
+
+/// Opaque tag identifying one SCX operation; stored in record `info` fields.
+pub type InfoTag = u64;
+
+const SEQ_BITS: u32 = 48;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+/// The `info` value carried by freshly allocated records: a tag whose
+/// thread id is out of range, treated as an always-committed dummy.
+pub const INITIAL_INFO: InfoTag = u64::MAX;
+
+#[inline]
+fn pack_tag(tid: usize, seq: u64) -> InfoTag {
+    debug_assert!(tid < MAX_THREADS);
+    debug_assert!(seq <= SEQ_MASK);
+    ((tid as u64) << SEQ_BITS) | seq
+}
+
+#[inline]
+fn tag_tid(tag: InfoTag) -> usize {
+    (tag >> SEQ_BITS) as usize
+}
+
+#[inline]
+fn tag_seq(tag: InfoTag) -> u64 {
+    tag & SEQ_MASK
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor status word: seq << 3 | allFrozen << 2 | state.
+// ---------------------------------------------------------------------------
+
+const STATE_IN_PROGRESS: u64 = 0;
+const STATE_COMMITTED: u64 = 1;
+const STATE_ABORTED: u64 = 2;
+const STATE_MASK: u64 = 0b11;
+const FROZEN_BIT: u64 = 0b100;
+
+#[inline]
+fn word(seq: u64, frozen: bool, state: u64) -> u64 {
+    (seq << 3) | if frozen { FROZEN_BIT } else { 0 } | state
+}
+
+#[inline]
+fn word_seq(w: u64) -> u64 {
+    w >> 3
+}
+
+#[inline]
+fn word_frozen(w: u64) -> bool {
+    w & FROZEN_BIT != 0
+}
+
+#[inline]
+fn word_state(w: u64) -> u64 {
+    w & STATE_MASK
+}
+
+// ---------------------------------------------------------------------------
+// Record headers.
+// ---------------------------------------------------------------------------
+
+/// Embedded at the start of every LLX/SCX record (tree node).
+///
+/// The record's *mutable fields* (child pointers) live in the enclosing
+/// struct as `AtomicU64`s; LLX reads them through a caller-provided closure
+/// so this crate stays agnostic of node layout.
+pub struct RecordHeader {
+    info: AtomicU64,
+    marked: AtomicBool,
+}
+
+impl Default for RecordHeader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordHeader {
+    /// A header for a freshly allocated, unfrozen, unmarked record.
+    pub fn new() -> Self {
+        RecordHeader {
+            info: AtomicU64::new(INITIAL_INFO),
+            marked: AtomicBool::new(false),
+        }
+    }
+
+    /// True once the record has been finalized (removed from the tree by a
+    /// committed SCX). Monotone.
+    #[inline]
+    pub fn is_finalized(&self) -> bool {
+        self.marked.load(Ordering::Acquire)
+    }
+}
+
+/// Result of an [`llx`] operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Llx<S> {
+    /// The record was not frozen; `snapshot` is an atomic view of its
+    /// mutable fields and `info` is the context to pass to [`scx`].
+    Ok { info: InfoTag, snapshot: S },
+    /// The record has been removed from the data structure.
+    Finalized,
+    /// A concurrent SCX interfered (it has been helped); retry.
+    Fail,
+}
+
+impl<S> Llx<S> {
+    /// Unwrap an `Ok` result (test helper).
+    pub fn unwrap(self) -> (InfoTag, S) {
+        match self {
+            Llx::Ok { info, snapshot } => (info, snapshot),
+            Llx::Finalized => panic!("llx: finalized"),
+            Llx::Fail => panic!("llx: fail"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Descriptors.
+// ---------------------------------------------------------------------------
+
+struct Descriptor {
+    /// (seq, allFrozen, state) — the only word helpers CAS.
+    status: AtomicU64,
+    /// Operation fields. Written by the owner strictly before any record
+    /// carries this operation's tag; helpers re-validate `status`' sequence
+    /// number after reading them, so stale reads are discarded. Plain
+    /// atomics (relaxed) keep this race-free in the Rust memory model.
+    num_v: AtomicU64,
+    v: [AtomicU64; MAX_V],     // *const RecordHeader
+    infos: [AtomicU64; MAX_V], // expected info tags
+    finalize_mask: AtomicU64,  // bit i set => finalize v[i]
+    fld: AtomicU64,            // *const AtomicU64 (the child pointer to CAS)
+    old: AtomicU64,
+    new: AtomicU64,
+}
+
+impl Descriptor {
+    fn new() -> Self {
+        Descriptor {
+            status: AtomicU64::new(word(0, false, STATE_COMMITTED)),
+            num_v: AtomicU64::new(0),
+            v: std::array::from_fn(|_| AtomicU64::new(0)),
+            infos: std::array::from_fn(|_| AtomicU64::new(0)),
+            finalize_mask: AtomicU64::new(0),
+            fld: AtomicU64::new(0),
+            old: AtomicU64::new(0),
+            new: AtomicU64::new(0),
+        }
+    }
+}
+
+fn descriptors() -> &'static [CachePadded<Descriptor>] {
+    static TABLE: OnceLock<Vec<CachePadded<Descriptor>>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        (0..MAX_THREADS)
+            .map(|_| CachePadded::new(Descriptor::new()))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// LLX.
+// ---------------------------------------------------------------------------
+
+/// Load-link-extended on `header`.
+///
+/// `read_fields` must perform `Acquire` loads of the record's mutable
+/// fields and return a snapshot; it is invoked at most once, between the
+/// two `info` reads that validate atomicity.
+///
+/// Must be called inside an [`ebr`] guard — the record and everything the
+/// snapshot points to are protected by the epoch.
+pub fn llx<S>(header: &RecordHeader, read_fields: impl FnOnce() -> S) -> Llx<S> {
+    let marked = header.marked.load(Ordering::Acquire);
+    let info = header.info.load(Ordering::Acquire);
+    let tid = tag_tid(info);
+    if tid < MAX_THREADS {
+        let d = &descriptors()[tid];
+        let w = d.status.load(Ordering::SeqCst);
+        if word_seq(w) == tag_seq(info) && word_state(w) == STATE_IN_PROGRESS {
+            // The freezing SCX is still running: help it, then fail.
+            help(tid, tag_seq(info));
+            return Llx::Fail;
+        }
+    }
+    if marked {
+        // `marked` is only ever set on an SCX's committed path, so a marked
+        // record is (or is inevitably about to be) finalized.
+        return Llx::Finalized;
+    }
+    let snapshot = read_fields();
+    if header.info.load(Ordering::SeqCst) == info {
+        Llx::Ok { info, snapshot }
+    } else {
+        Llx::Fail
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SCX.
+// ---------------------------------------------------------------------------
+
+/// One record participating in an SCX: its header pointer and the info tag
+/// returned by the LLX that linked it.
+#[derive(Debug, Clone, Copy)]
+pub struct Linked {
+    pub header: *const RecordHeader,
+    pub info: InfoTag,
+}
+
+/// Store-conditional-extended.
+///
+/// Atomically (with respect to all LLX/SCX operations):
+/// * verifies none of the records in `v` changed since their LLXes,
+/// * finalizes those records whose index bit is set in `finalize_mask`,
+/// * CASes the mutable field `fld` from `old` to `new`.
+///
+/// Returns `true` iff the SCX committed. Must run inside an [`ebr`] guard.
+///
+/// # Safety
+/// * Every `Linked::header` must point to a live record protected by the
+///   current epoch guard, and `fld` must point to a mutable field of one of
+///   those records.
+/// * `old` must be the value of `fld` contained in the corresponding LLX
+///   snapshot, and field values must never recur (guaranteed by allocating
+///   fresh nodes and reclaiming through `ebr`).
+/// * Per \[6\]'s usage constraint, `v` must be ordered consistently with the
+///   data structure's traversal order (we use patch-root-first), which is
+///   required for lock-freedom.
+pub unsafe fn scx(
+    v: &[Linked],
+    finalize_mask: u64,
+    fld: *const AtomicU64,
+    old: u64,
+    new: u64,
+) -> bool {
+    assert!(v.len() <= MAX_V, "scx: too many records");
+    let tid = ebr::thread_id();
+    let d = &descriptors()[tid];
+
+    // Begin a new operation: invalidate stale helpers by bumping seq, then
+    // publish the operation fields. No record carries the new tag yet, so
+    // nobody can read the fields before they are complete.
+    let cur = d.status.load(Ordering::SeqCst);
+    debug_assert_ne!(word_state(cur), STATE_IN_PROGRESS, "scx reentered");
+    let seq = word_seq(cur) + 1;
+    d.status
+        .store(word(seq, false, STATE_IN_PROGRESS), Ordering::SeqCst);
+    d.num_v.store(v.len() as u64, Ordering::Relaxed);
+    for (i, linked) in v.iter().enumerate() {
+        d.v[i].store(linked.header as u64, Ordering::Relaxed);
+        d.infos[i].store(linked.info, Ordering::Relaxed);
+    }
+    d.finalize_mask.store(finalize_mask, Ordering::Relaxed);
+    d.fld.store(fld as u64, Ordering::Relaxed);
+    d.old.store(old, Ordering::Relaxed);
+    d.new.store(new, Ordering::SeqCst);
+
+    help(tid, seq);
+
+    let w = d.status.load(Ordering::SeqCst);
+    debug_assert_eq!(word_seq(w), seq, "descriptor recycled under owner");
+    word_state(w) == STATE_COMMITTED
+}
+
+/// Drive the SCX identified by `(tid, seq)` to completion (owner and
+/// helpers run the same code). Safe to call with stale identities — every
+/// effectful step re-validates against the descriptor status word.
+fn help(tid: usize, seq: u64) {
+    let d = &descriptors()[tid];
+
+    // Snapshot the operation fields, then re-validate the sequence number:
+    // if it moved, the operation already finished and our copies are junk.
+    let w = d.status.load(Ordering::SeqCst);
+    if word_seq(w) != seq {
+        return;
+    }
+    let num_v = d.num_v.load(Ordering::Relaxed) as usize;
+    let mut recs = [std::ptr::null::<RecordHeader>(); MAX_V];
+    let mut exps = [0u64; MAX_V];
+    for i in 0..num_v.min(MAX_V) {
+        recs[i] = d.v[i].load(Ordering::Relaxed) as *const RecordHeader;
+        exps[i] = d.infos[i].load(Ordering::Relaxed);
+    }
+    let fmask = d.finalize_mask.load(Ordering::Relaxed);
+    let fld = d.fld.load(Ordering::Relaxed) as *const AtomicU64;
+    let old = d.old.load(Ordering::Relaxed);
+    let new = d.new.load(Ordering::SeqCst);
+    if word_seq(d.status.load(Ordering::SeqCst)) != seq {
+        return;
+    }
+
+    let tag = pack_tag(tid, seq);
+
+    // Freeze phase: install our tag in every record of V, in order.
+    'freeze: for i in 0..num_v.min(MAX_V) {
+        let header = unsafe { &*recs[i] };
+        if header
+            .info
+            .compare_exchange(exps[i], tag, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            if header.info.load(Ordering::SeqCst) == tag {
+                continue; // another helper froze it for us
+            }
+            // The record is frozen by an unrelated operation (or ours
+            // finished). Decide: commit path if allFrozen, abort otherwise.
+            loop {
+                let w = d.status.load(Ordering::SeqCst);
+                if word_seq(w) != seq || word_state(w) != STATE_IN_PROGRESS {
+                    return; // finished
+                }
+                if word_frozen(w) {
+                    break 'freeze; // someone saw all frozen; commit path
+                }
+                if d
+                    .status
+                    .compare_exchange(
+                        w,
+                        word(seq, false, STATE_ABORTED),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+        }
+    }
+
+    // All frozen (or another helper already saw it): set the bit. Failure is
+    // fine — either another helper set it, or the op finished.
+    let _ = d.status.compare_exchange(
+        word(seq, false, STATE_IN_PROGRESS),
+        word(seq, true, STATE_IN_PROGRESS),
+        Ordering::SeqCst,
+        Ordering::SeqCst,
+    );
+    // Re-validate we are still on the committed path of *this* op.
+    let w = d.status.load(Ordering::SeqCst);
+    if word_seq(w) != seq || !word_frozen(w) {
+        return;
+    }
+
+    // Mark (finalize) the records in R. Idempotent & monotone.
+    for i in 0..num_v.min(MAX_V) {
+        if fmask & (1 << i) != 0 {
+            unsafe { &*recs[i] }.marked.store(true, Ordering::Release);
+        }
+    }
+
+    // The update itself. At most one such CAS can succeed (field values
+    // never recur); helpers' failures are harmless.
+    unsafe { &*fld }
+        .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+        .ok();
+
+    let _ = d.status.compare_exchange(
+        word(seq, true, STATE_IN_PROGRESS),
+        word(seq, true, STATE_COMMITTED),
+        Ordering::SeqCst,
+        Ordering::SeqCst,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy record: header + one mutable field.
+    struct Cell {
+        header: RecordHeader,
+        value: AtomicU64,
+    }
+
+    impl Cell {
+        fn new(v: u64) -> Self {
+            Cell {
+                header: RecordHeader::new(),
+                value: AtomicU64::new(v),
+            }
+        }
+    }
+
+    fn llx_cell(c: &Cell) -> Llx<u64> {
+        llx(&c.header, || c.value.load(Ordering::Acquire))
+    }
+
+    #[test]
+    fn llx_reads_snapshot() {
+        let _g = ebr::pin();
+        let c = Cell::new(42);
+        let (info, snap) = llx_cell(&c).unwrap();
+        assert_eq!(snap, 42);
+        assert_eq!(info, INITIAL_INFO);
+    }
+
+    #[test]
+    fn scx_updates_field() {
+        let _g = ebr::pin();
+        let c = Cell::new(1);
+        let (info, snap) = llx_cell(&c).unwrap();
+        let ok = unsafe {
+            scx(
+                &[Linked {
+                    header: &c.header,
+                    info,
+                }],
+                0,
+                &c.value,
+                snap,
+                2,
+            )
+        };
+        assert!(ok);
+        assert_eq!(c.value.load(Ordering::SeqCst), 2);
+        // The record is unfrozen again: a fresh LLX succeeds.
+        let (info2, snap2) = llx_cell(&c).unwrap();
+        assert_eq!(snap2, 2);
+        assert_ne!(info2, info, "record now carries the committing op's tag");
+    }
+
+    #[test]
+    fn scx_fails_on_stale_llx() {
+        let _g = ebr::pin();
+        let c = Cell::new(1);
+        let (info, snap) = llx_cell(&c).unwrap();
+        // Interfering update.
+        let (info_i, snap_i) = llx_cell(&c).unwrap();
+        assert!(unsafe {
+            scx(
+                &[Linked {
+                    header: &c.header,
+                    info: info_i,
+                }],
+                0,
+                &c.value,
+                snap_i,
+                99,
+            )
+        });
+        // The original context is stale now.
+        let ok = unsafe {
+            scx(
+                &[Linked {
+                    header: &c.header,
+                    info,
+                }],
+                0,
+                &c.value,
+                snap,
+                2,
+            )
+        };
+        assert!(!ok, "SCX with stale LLX must abort");
+        assert_eq!(c.value.load(Ordering::SeqCst), 99);
+    }
+
+    #[test]
+    fn finalize_marks_record() {
+        let _g = ebr::pin();
+        let a = Cell::new(10);
+        let b = Cell::new(20);
+        let (ia, sa) = llx_cell(&a).unwrap();
+        let (ib, _sb) = llx_cell(&b).unwrap();
+        // Finalize b while updating a's field.
+        let ok = unsafe {
+            scx(
+                &[
+                    Linked {
+                        header: &a.header,
+                        info: ia,
+                    },
+                    Linked {
+                        header: &b.header,
+                        info: ib,
+                    },
+                ],
+                0b10,
+                &a.value,
+                sa,
+                11,
+            )
+        };
+        assert!(ok);
+        assert!(b.header.is_finalized());
+        assert!(!a.header.is_finalized());
+        assert!(matches!(llx_cell(&b), Llx::Finalized));
+        assert!(matches!(llx_cell(&a), Llx::Ok { .. }));
+    }
+
+    #[test]
+    fn concurrent_counter_chain() {
+        // Many threads CAS a shared "head" value through SCX; every commit
+        // must observe a unique predecessor (no lost updates).
+        use std::sync::Arc;
+        let head = Arc::new(Cell::new(0));
+        const THREADS: usize = 8;
+        const OPS: usize = 300;
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let head = head.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut committed = Vec::new();
+                let mut attempts = 0usize;
+                while committed.len() < OPS {
+                    attempts += 1;
+                    assert!(attempts < 10_000_000, "livelock");
+                    let g = ebr::pin();
+                    let r = llx(&head.header, || head.value.load(Ordering::Acquire));
+                    if let Llx::Ok { info, snapshot } = r {
+                        let newv = ((t as u64 + 1) << 32) | (committed.len() as u64 + 1);
+                        let ok = unsafe {
+                            scx(
+                                &[Linked {
+                                    header: &head.header,
+                                    info,
+                                }],
+                                0,
+                                &head.value,
+                                snapshot,
+                                newv,
+                            )
+                        };
+                        if ok {
+                            committed.push((snapshot, newv));
+                        }
+                    }
+                    drop(g);
+                }
+                committed
+            }));
+        }
+        let mut all: Vec<(u64, u64)> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        assert_eq!(all.len(), THREADS * OPS);
+        // Each committed SCX read a distinct predecessor value: the (old)
+        // values must all be unique, forming a linear history.
+        let mut olds: Vec<u64> = all.iter().map(|&(o, _)| o).collect();
+        olds.sort_unstable();
+        olds.dedup();
+        assert_eq!(olds.len(), THREADS * OPS, "lost update detected");
+    }
+
+    #[test]
+    fn concurrent_freeze_conflicts_resolve() {
+        // Two records, four threads each trying to SCX over both in the same
+        // order; every round exactly one attempt commits.
+        use std::sync::Arc;
+        let a = Arc::new(Cell::new(0));
+        let b = Arc::new(Cell::new(0));
+        const ROUNDS: usize = 500;
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (a, b, total) = (a.clone(), b.clone(), total.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    loop {
+                        let g = ebr::pin();
+                        let ra = llx(&a.header, || a.value.load(Ordering::Acquire));
+                        let rb = llx(&b.header, || b.value.load(Ordering::Acquire));
+                        if let (
+                            Llx::Ok {
+                                info: ia,
+                                snapshot: sa,
+                            },
+                            Llx::Ok {
+                                info: ib,
+                                snapshot: _,
+                            },
+                        ) = (ra, rb)
+                        {
+                            let ok = unsafe {
+                                scx(
+                                    &[
+                                        Linked {
+                                            header: &a.header,
+                                            info: ia,
+                                        },
+                                        Linked {
+                                            header: &b.header,
+                                            info: ib,
+                                        },
+                                    ],
+                                    0,
+                                    &a.value,
+                                    sa,
+                                    sa + 1,
+                                )
+                            };
+                            if ok {
+                                total.fetch_add(1, Ordering::SeqCst);
+                                drop(g);
+                                break;
+                            }
+                        }
+                        drop(g);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.value.load(Ordering::SeqCst), total.load(Ordering::SeqCst));
+        assert_eq!(total.load(Ordering::SeqCst), 4 * ROUNDS as u64);
+    }
+}

@@ -1,0 +1,174 @@
+//! LLX/SCX multi-record stress: overlapping SCXs over a shared pool of
+//! records, exercising freeze conflicts, helping and finalization at a
+//! scale the unit tests do not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use llxscx::{llx, scx, Linked, Llx, RecordHeader};
+
+struct Cell {
+    header: RecordHeader,
+    value: AtomicU64,
+}
+
+impl Cell {
+    fn new(v: u64) -> Self {
+        Cell {
+            header: RecordHeader::new(),
+            value: AtomicU64::new(v),
+        }
+    }
+}
+
+/// Threads repeatedly SCX over a random window of 3 records (in pool
+/// order, as the usage contract requires), bumping the first one's value.
+/// Total committed increments must equal the final sum.
+#[test]
+fn overlapping_windows_no_lost_updates() {
+    const POOL: usize = 16;
+    const THREADS: u64 = 8;
+    const TARGET: u64 = 400;
+    let pool: Arc<Vec<Cell>> = Arc::new((0..POOL as u64).map(|_| Cell::new(0)).collect());
+    let total = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = pool.clone();
+            let total = total.clone();
+            std::thread::spawn(move || {
+                let mut x = t + 1;
+                let mut committed = 0u64;
+                let mut spins = 0u64;
+                while committed < TARGET {
+                    spins += 1;
+                    assert!(spins < 50_000_000, "livelock");
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let base = (x as usize) % (POOL - 2);
+                    let g = ebr::pin();
+                    let cells = [&pool[base], &pool[base + 1], &pool[base + 2]];
+                    let mut links = Vec::new();
+                    let mut first_val = 0;
+                    let mut ok = true;
+                    for (i, c) in cells.iter().enumerate() {
+                        match llx(&c.header, || c.value.load(Ordering::Acquire)) {
+                            Llx::Ok { info, snapshot } => {
+                                if i == 0 {
+                                    first_val = snapshot;
+                                }
+                                links.push(Linked {
+                                    header: &c.header,
+                                    info,
+                                });
+                            }
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        let success = unsafe {
+                            scx(
+                                &links,
+                                0, // nothing finalized
+                                &cells[0].value,
+                                first_val,
+                                first_val + 1,
+                            )
+                        };
+                        if success {
+                            committed += 1;
+                            total.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    drop(g);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let sum: u64 = pool.iter().map(|c| c.value.load(Ordering::SeqCst)).sum();
+    assert_eq!(sum, total.load(Ordering::SeqCst));
+    assert_eq!(sum, THREADS * TARGET);
+}
+
+/// Finalization races: two threads try to finalize the same victim.
+/// Exactly one SCX commits per round, and the victim ends finalized.
+#[test]
+fn finalize_races_are_exclusive() {
+    for _round in 0..300 {
+        let a = Arc::new(Cell::new(0));
+        let victim = Arc::new(Cell::new(7));
+        let wins = Arc::new(AtomicU64::new(0));
+        let attempts = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let a = a.clone();
+                let victim = victim.clone();
+                let wins = wins.clone();
+                let attempts = attempts.clone();
+                std::thread::spawn(move || {
+                    // Retry until someone (possibly us) finalizes victim.
+                    loop {
+                        let g = ebr::pin();
+                        if victim.header.is_finalized() {
+                            return;
+                        }
+                        let (ia, sa) =
+                            match llx(&a.header, || a.value.load(Ordering::Acquire)) {
+                                Llx::Ok { info, snapshot } => (info, snapshot),
+                                Llx::Finalized => return,
+                                Llx::Fail => continue,
+                            };
+                        let iv = match llx(&victim.header, || {
+                            victim.value.load(Ordering::Acquire)
+                        }) {
+                            Llx::Ok { info, .. } => info,
+                            Llx::Finalized => return,
+                            Llx::Fail => continue,
+                        };
+                        attempts.fetch_add(1, Ordering::SeqCst);
+                        let ok = unsafe {
+                            scx(
+                                &[
+                                    Linked {
+                                        header: &a.header,
+                                        info: ia,
+                                    },
+                                    Linked {
+                                        header: &victim.header,
+                                        info: iv,
+                                    },
+                                ],
+                                0b10,
+                                &a.value,
+                                sa,
+                                sa + 1,
+                            )
+                        };
+                        drop(g);
+                        if ok {
+                            wins.fetch_add(1, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            wins.load(Ordering::SeqCst),
+            1,
+            "exactly one finalizer must win"
+        );
+        assert!(victim.header.is_finalized());
+        assert_eq!(a.value.load(Ordering::SeqCst), 1);
+        assert!(matches!(llx(&victim.header, || 0u64), Llx::Finalized));
+    }
+}

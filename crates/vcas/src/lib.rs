@@ -1,0 +1,629 @@
+//! # vcas — an unaugmented snapshot BST in the style of VcasBST
+//!
+//! Stand-in for the VcasBST of Wei et al. (PPoPP 2021) \[33\], the paper's
+//! strongest *unaugmented binary* competitor. The defining cost model it
+//! contributes to the evaluation:
+//!
+//! * **updates** pay no augmentation/propagation overhead (cheaper than
+//!   BAT's inserts/deletes);
+//! * **snapshots** are constant-time (a timestamp read);
+//! * **queries** on a snapshot pay Θ(keys inspected): range queries cost
+//!   Θ(log n + range), rank queries Θ(#keys ≤ k) — this is why the
+//!   augmented trees win Figs. 6–10 past the crossover.
+//!
+//! Mechanism (following \[33\]'s versioned-CAS idea): every mutable child
+//! edge holds a pointer to a [`VNode`] — a timestamped version record with
+//! a `prev` pointer to the edge's older versions. Updates install a new
+//! `VNode` (via the same LLX/SCX coordination our other trees use) whose
+//! timestamp is stamped lazily from the global clock; snapshot readers
+//! bump the clock and then traverse the version lists to the newest
+//! version no newer than their timestamp.
+//!
+//! Substitution notes (DESIGN.md §2.5): we keep whole version lists until
+//! their owning node is reclaimed rather than implementing \[33\]'s
+//! version-list garbage collection; that costs memory proportional to
+//! update count but does not change the query/update cost shape this
+//! baseline exists to exhibit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use llxscx::{Llx, RecordHeader};
+
+/// One version of a child edge: `(child, ts, prev)`.
+pub struct VNode {
+    child: u64, // *const Node
+    /// 0 = not yet stamped; stamped lazily by the first reader/writer.
+    ts: AtomicU64,
+    prev: u64, // *const VNode (older version)
+}
+
+impl VNode {
+    fn alloc(child: u64, prev: u64) -> u64 {
+        Box::into_raw(Box::new(VNode {
+            child,
+            ts: AtomicU64::new(0),
+            prev,
+        })) as u64
+    }
+
+    #[inline]
+    unsafe fn from_raw<'g>(raw: u64) -> &'g VNode {
+        unsafe { &*(raw as *const VNode) }
+    }
+}
+
+/// A tree node. Leaf-oriented: real keys at the leaves; `u64::MAX` and
+/// `u64::MAX - 1` serve as the two sentinel infinities (keys must be
+/// `< u64::MAX - 1`).
+pub struct Node {
+    header: RecordHeader,
+    key: u64,
+    left: AtomicU64,  // *const VNode, 0 for leaves
+    right: AtomicU64, // *const VNode
+}
+
+const INF1: u64 = u64::MAX - 1;
+const INF2: u64 = u64::MAX;
+
+impl Node {
+    fn leaf(key: u64) -> u64 {
+        Box::into_raw(Box::new(Node {
+            header: RecordHeader::new(),
+            key,
+            left: AtomicU64::new(0),
+            right: AtomicU64::new(0),
+        })) as u64
+    }
+
+    fn internal(key: u64, left_child: u64, right_child: u64) -> u64 {
+        Box::into_raw(Box::new(Node {
+            header: RecordHeader::new(),
+            key,
+            left: AtomicU64::new(VNode::alloc(left_child, 0)),
+            right: AtomicU64::new(VNode::alloc(right_child, 0)),
+        })) as u64
+    }
+
+    #[inline]
+    unsafe fn from_raw<'g>(raw: u64) -> &'g Node {
+        unsafe { &*(raw as *const Node) }
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left.load(Ordering::Acquire) == 0
+    }
+}
+
+/// The VcasBST-style set.
+pub struct VcasSet {
+    entry: u64,
+    clock: AtomicU64,
+}
+
+unsafe impl Send for VcasSet {}
+unsafe impl Sync for VcasSet {}
+
+/// A constant-time snapshot: a timestamp plus an epoch guard pinning the
+/// version lists.
+pub struct VcasSnapshot<'t> {
+    set: &'t VcasSet,
+    ts: u64,
+    _guard: ebr::Guard,
+}
+
+impl VcasSet {
+    /// Empty set with the standard two-level sentinel structure.
+    pub fn new() -> Self {
+        let real_slot = Node::leaf(INF1);
+        let inf1_right = Node::leaf(INF1);
+        let inf1 = Node::internal(INF1, real_slot, inf1_right);
+        let inf2_leaf = Node::leaf(INF2);
+        let entry = Node::internal(INF2, inf1, inf2_leaf);
+        VcasSet {
+            entry,
+            clock: AtomicU64::new(1),
+        }
+    }
+
+    /// Stamp an unstamped version with the current clock (lazy timestamping
+    /// as in \[33\]: the CAS makes stamping race-free).
+    #[inline]
+    fn init_ts(&self, v: &VNode) -> u64 {
+        let t = v.ts.load(Ordering::Acquire);
+        if t != 0 {
+            return t;
+        }
+        let now = self.clock.load(Ordering::SeqCst);
+        let _ = v
+            .ts
+            .compare_exchange(0, now, Ordering::SeqCst, Ordering::SeqCst);
+        v.ts.load(Ordering::Acquire)
+    }
+
+    /// Current child of an edge (head version), stamping lazily.
+    #[inline]
+    fn read_child(&self, field: &AtomicU64) -> (u64, u64) {
+        let head = field.load(Ordering::Acquire);
+        let v = unsafe { VNode::from_raw(head) };
+        self.init_ts(v);
+        (v.child, head)
+    }
+
+    /// Child of an edge as of timestamp `ts`.
+    fn read_child_at(&self, field: &AtomicU64, ts: u64) -> u64 {
+        let mut raw = field.load(Ordering::Acquire);
+        loop {
+            let v = unsafe { VNode::from_raw(raw) };
+            let vt = self.init_ts(v);
+            if vt <= ts || v.prev == 0 {
+                return v.child;
+            }
+            raw = v.prev;
+        }
+    }
+
+    fn search(&self, k: u64) -> (&Node, &Node, &Node) {
+        debug_assert!(k < INF1);
+        let mut gp = unsafe { Node::from_raw(self.entry) };
+        let (p_raw, _) = self.read_child(&gp.left);
+        let mut p = unsafe { Node::from_raw(p_raw) };
+        let mut l = {
+            let f = if k < p.key { &p.left } else { &p.right };
+            let (c, _) = self.read_child(f);
+            unsafe { Node::from_raw(c) }
+        };
+        while !l.is_leaf() {
+            gp = p;
+            p = l;
+            let f = if k < l.key { &l.left } else { &l.right };
+            let (c, _) = self.read_child(f);
+            l = unsafe { Node::from_raw(c) };
+        }
+        (gp, p, l)
+    }
+
+    /// Linearizable membership on the current tree.
+    pub fn contains(&self, k: u64) -> bool {
+        let _g = ebr::pin();
+        let (_, _, l) = self.search(k);
+        l.key == k
+    }
+
+    /// LLX a node, snapshotting its two version heads.
+    fn llx_node(n: &Node) -> Llx<(u64, u64)> {
+        llxscx::llx(&n.header, || {
+            (n.left.load(Ordering::Acquire), n.right.load(Ordering::Acquire))
+        })
+    }
+
+    /// Insert `k`; returns `true` iff newly added.
+    pub fn insert(&self, k: u64) -> bool {
+        assert!(k < INF1, "keys must be < u64::MAX - 1");
+        loop {
+            let guard = ebr::pin();
+            let (_gp, p, l) = self.search(k);
+            if l.key == k {
+                return false;
+            }
+            let Llx::Ok {
+                info: pinfo,
+                snapshot: psnap,
+            } = Self::llx_node(p)
+            else {
+                continue;
+            };
+            let (field, head) = if k < p.key {
+                (&p.left, psnap.0)
+            } else {
+                (&p.right, psnap.1)
+            };
+            // Re-validate that the head still leads to l.
+            if unsafe { VNode::from_raw(head) }.child != l as *const Node as u64 {
+                continue;
+            }
+            let Llx::Ok { info: linfo, .. } = Self::llx_node(l) else {
+                continue;
+            };
+            let new_leaf = Node::leaf(k);
+            let leaf_copy = Node::leaf(l.key);
+            let (lc, rc, ikey) = if k < l.key {
+                (new_leaf, leaf_copy, l.key)
+            } else {
+                (leaf_copy, new_leaf, k)
+            };
+            let internal = Node::internal(ikey, lc, rc);
+            let new_head = VNode::alloc(internal, head);
+            let ok = unsafe {
+                llxscx::scx(
+                    &[
+                        llxscx::Linked {
+                            header: &p.header,
+                            info: pinfo,
+                        },
+                        llxscx::Linked {
+                            header: &l.header,
+                            info: linfo,
+                        },
+                    ],
+                    0b10,
+                    field as *const AtomicU64,
+                    head,
+                    new_head,
+                )
+            };
+            if ok {
+                self.init_ts(unsafe { VNode::from_raw(new_head) });
+                unsafe { Self::retire_node(&guard, l as *const Node as u64) };
+                return true;
+            }
+            unsafe {
+                Self::dispose_node(internal);
+                Self::dispose_node(new_leaf);
+                Self::dispose_node(leaf_copy);
+                drop(Box::from_raw(new_head as *mut VNode));
+            }
+        }
+    }
+
+    /// Remove `k`; returns `true` iff it was present.
+    pub fn remove(&self, k: u64) -> bool {
+        assert!(k < INF1);
+        loop {
+            let guard = ebr::pin();
+            let (gp, p, l) = self.search(k);
+            if l.key != k {
+                return false;
+            }
+            let Llx::Ok {
+                info: gpinfo,
+                snapshot: gpsnap,
+            } = Self::llx_node(gp)
+            else {
+                continue;
+            };
+            let (gfield, ghead) = if k < gp.key {
+                (&gp.left, gpsnap.0)
+            } else {
+                (&gp.right, gpsnap.1)
+            };
+            if unsafe { VNode::from_raw(ghead) }.child != p as *const Node as u64 {
+                continue;
+            }
+            let Llx::Ok {
+                info: pinfo,
+                snapshot: psnap,
+            } = Self::llx_node(p)
+            else {
+                continue;
+            };
+            let (lhead, shead) = if k < p.key {
+                (psnap.0, psnap.1)
+            } else {
+                (psnap.1, psnap.0)
+            };
+            if unsafe { VNode::from_raw(lhead) }.child != l as *const Node as u64 {
+                continue;
+            }
+            let s_raw = unsafe { VNode::from_raw(shead) }.child;
+            let s = unsafe { Node::from_raw(s_raw) };
+            let Llx::Ok { info: sinfo, .. } = Self::llx_node(s) else {
+                continue;
+            };
+            let Llx::Ok { info: linfo, .. } = Self::llx_node(l) else {
+                continue;
+            };
+            // The sibling node itself is moved up (not copied): version
+            // lists make node copies unnecessary for the unbalanced tree,
+            // but we copy anyway so finalization semantics stay uniform.
+            let s_copy = if s.is_leaf() {
+                Node::leaf(s.key)
+            } else {
+                let (sl, _) = self.read_child(&s.left);
+                let (sr, _) = self.read_child(&s.right);
+                Node::internal(s.key, sl, sr)
+            };
+            let new_head = VNode::alloc(s_copy, ghead);
+            let ok = unsafe {
+                llxscx::scx(
+                    &[
+                        llxscx::Linked {
+                            header: &gp.header,
+                            info: gpinfo,
+                        },
+                        llxscx::Linked {
+                            header: &p.header,
+                            info: pinfo,
+                        },
+                        llxscx::Linked {
+                            header: &l.header,
+                            info: linfo,
+                        },
+                        llxscx::Linked {
+                            header: &s.header,
+                            info: sinfo,
+                        },
+                    ],
+                    0b1110,
+                    gfield as *const AtomicU64,
+                    ghead,
+                    new_head,
+                )
+            };
+            if ok {
+                self.init_ts(unsafe { VNode::from_raw(new_head) });
+                unsafe {
+                    Self::retire_node(&guard, p as *const Node as u64);
+                    Self::retire_node(&guard, l as *const Node as u64);
+                    Self::retire_node(&guard, s_raw);
+                }
+                return true;
+            }
+            unsafe {
+                Self::dispose_node(s_copy);
+                drop(Box::from_raw(new_head as *mut VNode));
+            }
+        }
+    }
+
+    unsafe fn retire_node(guard: &ebr::Guard, raw: u64) {
+        unsafe fn free(p: *mut u8) {
+            let node = unsafe { Box::from_raw(p as *mut Node) };
+            // Retire the node's version lists along with it.
+            for field in [&node.left, &node.right] {
+                let mut v = field.load(Ordering::Acquire);
+                while v != 0 {
+                    let vn = unsafe { Box::from_raw(v as *mut VNode) };
+                    v = vn.prev;
+                }
+            }
+        }
+        unsafe { guard.retire_with(raw as *mut u8, free) };
+    }
+
+    unsafe fn dispose_node(raw: u64) {
+        let node = unsafe { Box::from_raw(raw as *mut Node) };
+        for field in [&node.left, &node.right] {
+            let v = field.load(Ordering::Acquire);
+            if v != 0 {
+                drop(unsafe { Box::from_raw(v as *mut VNode) });
+            }
+        }
+    }
+
+    /// Take a constant-time snapshot: advance the clock and remember the
+    /// pre-advance timestamp.
+    pub fn snapshot(&self) -> VcasSnapshot<'_> {
+        let guard = ebr::pin();
+        let ts = self.clock.fetch_add(1, Ordering::SeqCst);
+        VcasSnapshot {
+            set: self,
+            ts,
+            _guard: guard,
+        }
+    }
+
+    /// Number of keys — Θ(n) traversal (unaugmented!).
+    pub fn len_slow(&self) -> u64 {
+        let snap = self.snapshot();
+        snap.range_count(0, INF1 - 1)
+    }
+}
+
+impl Default for VcasSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for VcasSet {
+    fn drop(&mut self) {
+        fn walk(set: &VcasSet, raw: u64) {
+            let node = unsafe { Node::from_raw(raw) };
+            if !node.is_leaf() {
+                let (l, _) = set.read_child(&node.left);
+                let (r, _) = set.read_child(&node.right);
+                walk(set, l);
+                walk(set, r);
+            }
+            // Only free current-version children; superseded subtrees leak
+            // at drop (acceptable: drop runs at process teardown in the
+            // benches; during execution EBR reclaims retired nodes).
+            unsafe { VcasSet::dispose_node(raw) };
+        }
+        walk(self, self.entry);
+    }
+}
+
+impl<'t> VcasSnapshot<'t> {
+    fn root_at(&self) -> u64 {
+        let entry = unsafe { Node::from_raw(self.set.entry) };
+        let inf1 = self.set.read_child_at(&entry.left, self.ts);
+        self.set
+            .read_child_at(&unsafe { Node::from_raw(inf1) }.left, self.ts)
+    }
+
+    /// Membership within the snapshot.
+    pub fn contains(&self, k: u64) -> bool {
+        let mut n = unsafe { Node::from_raw(self.root_at()) };
+        while !n.is_leaf() {
+            let f = if k < n.key { &n.left } else { &n.right };
+            n = unsafe { Node::from_raw(self.set.read_child_at(f, self.ts)) };
+        }
+        n.key == k
+    }
+
+    /// Count keys in `[lo, hi]` by traversing the snapshot — Θ(output +
+    /// log n): the unaugmented cost the paper's Figs. 6–10 measure.
+    pub fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        self.count_range(self.root_at(), lo, hi)
+    }
+
+    fn count_range(&self, raw: u64, lo: u64, hi: u64) -> u64 {
+        let n = unsafe { Node::from_raw(raw) };
+        if n.is_leaf() {
+            return (n.key >= lo && n.key <= hi && n.key < INF1) as u64;
+        }
+        let mut total = 0;
+        if lo < n.key {
+            total += self.count_range(self.set.read_child_at(&n.left, self.ts), lo, hi);
+        }
+        if hi >= n.key {
+            total += self.count_range(self.set.read_child_at(&n.right, self.ts), lo, hi);
+        }
+        total
+    }
+
+    /// Collect keys in `[lo, hi]`.
+    pub fn range_collect(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.collect_range(self.root_at(), lo, hi, &mut out);
+        out
+    }
+
+    fn collect_range(&self, raw: u64, lo: u64, hi: u64, out: &mut Vec<u64>) {
+        let n = unsafe { Node::from_raw(raw) };
+        if n.is_leaf() {
+            if n.key >= lo && n.key <= hi && n.key < INF1 {
+                out.push(n.key);
+            }
+            return;
+        }
+        if lo < n.key {
+            self.collect_range(self.set.read_child_at(&n.left, self.ts), lo, hi, out);
+        }
+        if hi >= n.key {
+            self.collect_range(self.set.read_child_at(&n.right, self.ts), lo, hi, out);
+        }
+    }
+
+    /// Rank (keys ≤ k) — Θ(#keys ≤ k): brute-force traversal, exactly the
+    /// unaugmented cost model of the paper's Fig. 7.
+    pub fn rank(&self, k: u64) -> u64 {
+        self.range_count(0, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_contains_remove() {
+        let s = VcasSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn sequential_oracle() {
+        use std::collections::BTreeSet;
+        let s = VcasSet::new();
+        let mut oracle = BTreeSet::new();
+        let mut x = 777u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 128;
+            if x & 1 == 0 {
+                assert_eq!(s.insert(k), oracle.insert(k), "insert {k}");
+            } else {
+                assert_eq!(s.remove(k), oracle.remove(&k), "remove {k}");
+            }
+        }
+        let snap = s.snapshot();
+        let got = snap.range_collect(0, 127);
+        let want: Vec<u64> = oracle.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshots_are_stable() {
+        let s = VcasSet::new();
+        for k in 0..100 {
+            s.insert(k);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.range_count(0, 99), 100);
+        for k in 100..200 {
+            s.insert(k);
+        }
+        for k in 0..50 {
+            s.remove(k);
+        }
+        // The old snapshot still sees the old state.
+        assert_eq!(snap.range_count(0, 99), 100);
+        assert!(snap.contains(0));
+        assert!(!snap.contains(150));
+        let snap2 = s.snapshot();
+        assert_eq!(snap2.range_count(0, 199), 150);
+    }
+
+    #[test]
+    fn rank_matches_definition() {
+        let s = VcasSet::new();
+        for k in (0..100).step_by(2) {
+            s.insert(k);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.rank(50), 26); // 0,2,...,50
+        assert_eq!(snap.rank(51), 26);
+        assert_eq!(snap.rank(0), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let s = Arc::new(VcasSet::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        assert!(s.insert(t * 10_000 + i));
+                    }
+                    for i in (0..1000).step_by(2) {
+                        assert!(s.remove(t * 10_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len_slow(), 8 * 500);
+        ebr::flush();
+    }
+
+    #[test]
+    fn snapshot_during_concurrent_updates_is_consistent_size() {
+        let s = Arc::new(VcasSet::new());
+        for k in 0..1000 {
+            s.insert(k * 2);
+        }
+        let s2 = s.clone();
+        let writer = std::thread::spawn(move || {
+            for k in 0..1000 {
+                s2.insert(k * 2 + 1);
+            }
+        });
+        // Snapshot counts must never decrease for an insert-only workload.
+        let mut last = 0;
+        for _ in 0..50 {
+            let snap = s.snapshot();
+            let n = snap.range_count(0, u64::MAX - 2);
+            assert!(n >= last, "snapshot counts must be monotone: {n} < {last}");
+            last = n;
+        }
+        writer.join().unwrap();
+    }
+}

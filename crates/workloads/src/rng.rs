@@ -1,0 +1,179 @@
+//! Small, fast, deterministic PRNG utilities for workload generation.
+//!
+//! Benchmarks need a per-thread generator whose cost is negligible next to
+//! a tree operation; xorshift128+ (a few ALU ops) fits, and fixed seeding
+//! keeps runs reproducible.
+
+/// xorshift128+ — fast non-cryptographic PRNG.
+#[derive(Clone)]
+pub struct Xorshift {
+    s0: u64,
+    s1: u64,
+}
+
+impl Xorshift {
+    /// Seeded generator; distinct seeds give independent-enough streams.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 to spread the seed.
+        let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut next = || {
+            z = z.wrapping_add(0x9e3779b97f4a7c15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+            x ^ (x >> 31)
+        };
+        let s0 = next() | 1;
+        let s1 = next() | 1;
+        Xorshift { s0, s1 }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    /// Uniform in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Zipfian generator over `{0, …, n-1}` with parameter `theta`
+/// (YCSB-style \[9\]; Gray et al.'s method, as SetBench uses).
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Precomputes `zeta(n, theta)` — O(n), done once per run.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0 && theta > 0.0 && theta < 1.0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For large n, approximate the tail with the integral; exact sum
+        // below a cutoff. Error is far below workload noise.
+        const EXACT: u64 = 1_000_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫_{EXACT}^{n} x^-theta dx
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (EXACT as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Draw a Zipf-distributed value in `[0, n)` (0 is the hottest).
+    pub fn sample(&self, rng: &mut Xorshift) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+/// Scramble a Zipf rank into a key so hot keys spread over the key space
+/// (SetBench scrambles; without it the hot keys are all adjacent).
+#[inline]
+pub fn scramble(v: u64, max_key: u64) -> u64 {
+    (v.wrapping_mul(0x9e3779b97f4a7c15) >> 17) % max_key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = Xorshift::new(42);
+        let mut b = Xorshift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Xorshift::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Xorshift::new(9);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_zero() {
+        let z = Zipf::new(10_000, 0.95);
+        let mut r = Xorshift::new(3);
+        let mut low = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut r) < 100 {
+                low += 1;
+            }
+        }
+        // Theory: zeta(100, .95)/zeta(10000, .95) ≈ 0.49 of the mass sits
+        // in the top 1% of ranks (uniform would put 1% there).
+        assert!(
+            (N * 2 / 5..N * 3 / 5).contains(&low),
+            "zipf skew off: {low}/{N} samples in the top 1% (expected ≈49%)"
+        );
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let z = Zipf::new(1000, 0.5);
+        let mut r = Xorshift::new(4);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 1000);
+        }
+    }
+}

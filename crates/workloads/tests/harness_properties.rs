@@ -1,0 +1,72 @@
+//! Property tests for the workload generators themselves: distributions
+//! must produce in-range keys, mixes must respect their shares, and the
+//! Zipf generator must be monotone in skew.
+
+use proptest::prelude::*;
+
+use workloads::{scramble, Xorshift, Zipf};
+
+proptest! {
+    #[test]
+    fn xorshift_streams_differ_by_seed(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let mut ra = Xorshift::new(a);
+        let mut rb = Xorshift::new(b);
+        let same = (0..16).all(|_| ra.next_u64() == rb.next_u64());
+        prop_assert!(!same, "distinct seeds produced identical streams");
+    }
+
+    #[test]
+    fn below_is_uniform_enough(bound in 2u64..1000) {
+        let mut r = Xorshift::new(bound);
+        let mut counts = vec![0u32; bound.min(16) as usize];
+        let buckets = counts.len() as u64;
+        const N: u32 = 4_000;
+        for _ in 0..N {
+            let v = r.below(bound);
+            prop_assert!(v < bound);
+            counts[(v * buckets / bound) as usize] += 1;
+        }
+        // Every bucket within 3x of the mean: crude but catches biases.
+        let mean = N / buckets as u32;
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert!(*c < mean * 3 + 30, "bucket {i} overloaded: {c} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 2u64..100_000, seed in any::<u64>()) {
+        let z = Zipf::new(n, 0.9);
+        let mut r = Xorshift::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut r) < n);
+        }
+    }
+
+    #[test]
+    fn scramble_stays_in_range(v in any::<u64>(), mk in 1u64..1_000_000) {
+        prop_assert!(scramble(v, mk) < mk);
+    }
+}
+
+#[test]
+fn higher_theta_is_more_skewed() {
+    let n = 10_000u64;
+    let mass_on_top = |theta: f64| {
+        let z = Zipf::new(n, theta);
+        let mut r = Xorshift::new(7);
+        let mut hits = 0u32;
+        for _ in 0..20_000 {
+            if z.sample(&mut r) < 10 {
+                hits += 1;
+            }
+        }
+        hits
+    };
+    let low = mass_on_top(0.5);
+    let high = mass_on_top(0.99);
+    assert!(
+        high > low * 2,
+        "theta 0.99 should concentrate far more than 0.5: {high} vs {low}"
+    );
+}

@@ -1,0 +1,88 @@
+//! Analytics: streaming percentile / order-statistic monitoring.
+//!
+//! An observability agent ingests latency samples from many sources and
+//! must answer "current p50/p95/p99" and "how many requests exceeded the
+//! SLO?" continuously, without pausing ingestion. With BAT those queries
+//! are O(log n) selects/ranks on free snapshots; with a plain concurrent
+//! map each percentile would require scanning a copy.
+//!
+//! ```sh
+//! cargo run --release --example analytics
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cbat::BatSet;
+use cbat::workloads::Xorshift;
+
+/// Encode (latency_us, sequence) so duplicate latencies collide never.
+fn sample_key(latency_us: u64, seq: u64) -> u64 {
+    (latency_us << 24) | (seq & 0xFF_FFFF)
+}
+
+fn latency_of(key: u64) -> u64 {
+    key >> 24
+}
+
+fn main() {
+    let window = Arc::new(BatSet::<u64>::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let seq = Arc::new(AtomicU64::new(0));
+
+    // Ingest threads: log-normal-ish latencies (mixture of fast + slow).
+    let mut handles = Vec::new();
+    for t in 0..3u64 {
+        let (window, stop, seq) = (window.clone(), stop.clone(), seq.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Xorshift::new(1000 + t);
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let base = 100 + rng.below(400); // 100-500us common case
+                let lat = if rng.below(100) < 2 {
+                    base + 5_000 + rng.below(20_000) // 2% slow outliers
+                } else {
+                    base
+                };
+                let s = seq.fetch_add(1, Ordering::Relaxed);
+                window.insert(sample_key(lat, s));
+                n += 1;
+            }
+            n
+        }));
+    }
+
+    const SLO_US: u64 = 1_000;
+    for tick in 1..=5 {
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        let snap = window.snapshot();
+        let n = snap.len();
+        if n == 0 {
+            continue;
+        }
+        let pct = |p: f64| -> u64 {
+            let i = ((n - 1) as f64 * p) as u64;
+            latency_of(snap.select(i).map(|(k, _)| k).unwrap_or(0))
+        };
+        // SLO violations: keys with latency > SLO == n - rank(boundary).
+        let violations = n - snap.rank(&sample_key(SLO_US, 0xFF_FFFF));
+        println!(
+            "tick {tick}: n={n:<8} p50={:<5} p95={:<5} p99={:<6} >SLO: {} ({:.2}%)",
+            pct(0.50),
+            pct(0.95),
+            pct(0.99),
+            violations,
+            100.0 * violations as f64 / n as f64
+        );
+        // Consistency: every percentile is a real sample and ordered.
+        assert!(pct(0.50) <= pct(0.95) && pct(0.95) <= pct(0.99));
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let ingested: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    println!(
+        "ingested {ingested} samples; final window holds {}",
+        window.len()
+    );
+    assert_eq!(window.len(), ingested, "every sample has a unique key");
+}

@@ -1,0 +1,119 @@
+//! Leaderboard: live rank queries under concurrent score updates.
+//!
+//! The motivating scenario for order-statistic trees: a game leaderboard
+//! where millions of score updates race with "what is my rank?" and
+//! "show the top-k" queries. Unaugmented structures answer rank in
+//! Θ(#players with lower scores); BAT answers in O(log n) on a snapshot
+//! that is consistent even while scores churn.
+//!
+//! Scores are encoded as keys `(score << 20) | player_id` so equal scores
+//! stay distinct and higher keys mean better players.
+//!
+//! ```sh
+//! cargo run --release --example leaderboard
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cbat::BatSet;
+use cbat::workloads::Xorshift;
+
+const PLAYERS: u64 = 20_000;
+const ID_BITS: u64 = 20;
+
+fn key(score: u64, player: u64) -> u64 {
+    (score << ID_BITS) | player
+}
+
+fn player_of(key: u64) -> u64 {
+    key & ((1 << ID_BITS) - 1)
+}
+
+fn score_of(key: u64) -> u64 {
+    key >> ID_BITS
+}
+
+fn main() {
+    let board = Arc::new(BatSet::<u64>::new());
+    let scores: Arc<Vec<std::sync::atomic::AtomicU64>> =
+        Arc::new((0..PLAYERS).map(|_| std::sync::atomic::AtomicU64::new(0)).collect());
+
+    // Seed every player with an initial score.
+    let mut rng = Xorshift::new(2026);
+    for p in 0..PLAYERS {
+        let s = rng.below(100_000);
+        scores[p as usize].store(s, Ordering::Relaxed);
+        board.insert(key(s, p));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writers: random players gain points (remove old key, insert new).
+    // Each writer owns a disjoint slice of players so a player's
+    // remove+insert pair is never interleaved with another writer's — the
+    // usual single-writer-per-entity discipline of sharded ingest.
+    const WRITERS: u64 = 3;
+    let mut handles = Vec::new();
+    for t in 0..WRITERS {
+        let (board, scores, stop) = (board.clone(), scores.clone(), stop.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Xorshift::new(7 + t);
+            let per = PLAYERS / WRITERS;
+            let base = t * per;
+            let span = if t == WRITERS - 1 { PLAYERS - base } else { per };
+            let mut updates = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let p = base + rng.below(span);
+                let old = scores[p as usize].load(Ordering::Relaxed);
+                let new = old + rng.below(500) + 1;
+                scores[p as usize].store(new, Ordering::Relaxed);
+                board.remove(&key(old, p));
+                board.insert(key(new, p));
+                updates += 1;
+            }
+            updates
+        }));
+    }
+
+    // Reader: periodic consistent leaderboard reports.
+    for round in 1..=5 {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let snap = board.snapshot();
+        let n = snap.len();
+        println!("--- round {round}: {n} entries ---");
+        // Top 3 (highest keys).
+        for i in 0..3.min(n) {
+            if let Some(k) = snap.select(n - 1 - i).map(|(k, _)| k) {
+                println!(
+                    "  #{:<2} player {:<6} score {}",
+                    i + 1,
+                    player_of(k),
+                    score_of(k)
+                );
+            }
+        }
+        // Rank of a fixed player: keys above mine = n - rank(my_key).
+        let p = 1234u64;
+        let s = scores[p as usize].load(Ordering::Relaxed);
+        let r = snap.rank(&key(s, p));
+        println!(
+            "  player {p} (score {s}) is ranked {} of {n}",
+            n - r + 1
+        );
+        // Percentile bucket sizes via range_count: how many players score
+        // in [50k, 100k)?
+        let hi_band = snap.range_count(&key(50_000, 0), &key(100_000, 0));
+        println!("  players with score in [50k,100k): {hi_band}");
+        // The snapshot is internally consistent: rank(select(i)) == i+1.
+        if n > 0 {
+            let (mid, _) = snap.select(n / 2).unwrap();
+            assert_eq!(snap.rank(&mid), n / 2 + 1, "snapshot self-consistency");
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    println!("writers applied {total} score updates while we read consistent boards");
+    assert_eq!(board.len(), PLAYERS, "one key per player at rest");
+}

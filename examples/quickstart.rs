@@ -1,0 +1,58 @@
+//! Quickstart: the BAT API in two minutes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cbat::{BatMap, BatSet, SumAug};
+
+fn main() {
+    // --- A concurrent ordered set with O(log n) order statistics -------
+    let set: BatSet<u64> = BatSet::new();
+    for k in [30, 10, 50, 20, 40] {
+        set.insert(k);
+    }
+    println!("len            = {}", set.len()); // O(1)
+    println!("rank(30)       = {}", set.rank(&30)); // keys ≤ 30
+    println!("select(0)      = {:?}", set.select(0)); // smallest key
+    println!("select(4)      = {:?}", set.select(4)); // largest key
+    println!("count [15,45]  = {}", set.range_count(&15, &45));
+
+    // --- Snapshots are atomic and free ---------------------------------
+    let snap = set.snapshot();
+    set.insert(60);
+    set.remove(&10);
+    println!(
+        "snapshot still sees {{10..50}}: len={} contains(10)={}",
+        snap.len(),
+        snap.contains(&10)
+    );
+    println!("live set now: len={}", set.len());
+
+    // --- Generic augmentation: range sums ------------------------------
+    let sales: BatMap<u64, u64, SumAug> = BatMap::new();
+    for (day, amount) in [(1, 120), (2, 340), (3, 75), (4, 990), (5, 42)] {
+        sales.insert(day, amount);
+    }
+    println!("total sales           = {}", sales.aggregate()); // O(1)
+    println!("sales days 2..=4      = {}", sales.range_aggregate(&2, &4));
+    sales.insert(3, 1000); // day 3 revised? no — insert of existing key is a no-op
+    sales.remove(&3);
+    sales.insert(3, 1000); // delete + insert = update
+    println!("after revising day 3  = {}", sales.range_aggregate(&2, &4));
+
+    // --- Everything is safe to share across threads --------------------
+    let shared = std::sync::Arc::new(BatSet::<u64>::new());
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let shared = shared.clone();
+            s.spawn(move || {
+                for i in 0..1000 {
+                    shared.insert(t * 1000 + i);
+                }
+            });
+        }
+    });
+    println!("4 threads x 1000 inserts -> len = {}", shared.len());
+    assert_eq!(shared.len(), 4000);
+}

@@ -1,0 +1,78 @@
+//! Text index: order-statistic queries over a string-keyed map.
+//!
+//! BAT is generic over `K: Ord + Clone` — here the keys are words, and
+//! the augmented size fields give O(log n) lexicographic statistics:
+//! "how many distinct words sort before `m`?", "what is the median
+//! word?", "how many words fall in [`apple`, `banana`]?" — under
+//! concurrent indexing.
+//!
+//! ```sh
+//! cargo run --release --example text_index
+//! ```
+
+use cbat::{BatMap, SumAug};
+
+const TEXT: &str = "\
+the quick brown fox jumps over the lazy dog \
+a concurrent balanced augmented tree supports aggregation queries \
+order statistic queries and range queries in addition to insertion \
+deletion and lookup the versions form an immutable snapshot so any \
+sequential algorithm runs verbatim on a frozen version tree while \
+updates proceed the quick brown fox returns";
+
+fn main() {
+    // word -> occurrence count, with SumAug giving O(log n) range sums of
+    // counts (note: counts are "last write wins" via remove+insert).
+    let index: BatMap<String, u64, SumAug> = BatMap::new();
+
+    // Index concurrently: each thread takes a slice of the words.
+    let words: Vec<&str> = TEXT.split_whitespace().collect();
+    std::thread::scope(|s| {
+        for chunk in words.chunks(words.len().div_ceil(4)) {
+            let index = &index;
+            s.spawn(move || {
+                for w in chunk {
+                    // Read-modify-write per word; contended words may race
+                    // (undercount) — for exact counts a CAS loop per word
+                    // register would be used; here we showcase queries.
+                    let prev = index.get(&w.to_string()).unwrap_or(0);
+                    index.remove(&w.to_string());
+                    index.insert(w.to_string(), prev + 1);
+                }
+            });
+        }
+    });
+
+    let snap = index.snapshot();
+    let n = snap.len();
+    println!("distinct words: {n}");
+    println!("total counted occurrences: {}", snap.aggregate());
+
+    // Lexicographic order statistics.
+    let (median, _) = snap.median().unwrap();
+    println!("median word: {median:?}");
+    println!(
+        "words before 'm…': {}",
+        snap.rank_exclusive(&"m".to_string())
+    );
+    println!(
+        "words in ['a','e']: {}",
+        snap.range_count(&"a".to_string(), &"e\u{10FFFF}".to_string())
+    );
+    println!("first: {:?}", snap.first().map(|p| p.0));
+    println!("last:  {:?}", snap.last().map(|p| p.0));
+
+    // Top of the alphabet via select.
+    print!("first five words:");
+    for i in 0..5.min(n) {
+        print!(" {}", snap.select(i).unwrap().0);
+    }
+    println!();
+
+    // Sanity: rank/select duality over the whole index.
+    for i in 0..n {
+        let (w, _) = snap.select(i).unwrap();
+        assert_eq!(snap.rank(&w), i + 1);
+    }
+    println!("rank/select duality verified over {n} words");
+}

@@ -1,0 +1,29 @@
+//! # cbat — Concurrent Balanced Augmented Trees (PPoPP 2026)
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`core`](cbat_core) — **BAT**: the lock-free balanced augmented tree,
+//!   its delegation variants, snapshots and order-statistic queries;
+//! * [`frbst`] — the unbalanced augmented baseline (Fatourou–Ruppert);
+//! * [`chromatic`] — the lock-free chromatic tree substrate;
+//! * [`llxscx`] — LLX/SCX primitives from CAS;
+//! * [`ebr`] — epoch-based memory reclamation;
+//! * [`vcas`], [`fanout`] — unaugmented snapshot-tree comparators;
+//! * [`workloads`] — SetBench-style benchmark harness.
+//!
+//! See `examples/` for runnable end-to-end programs and `crates/bench`
+//! for the harness regenerating every figure of the paper.
+
+pub use cbat_core as core;
+pub use cbat_core::{
+    Augmentation, BatMap, BatSet, DelegationPolicy, IntervalMap, KeySumAug, MinMaxAug, PairAug,
+    SizeOnly, Snapshot, SumAug,
+};
+pub use chromatic;
+pub use ebr;
+pub use fanout;
+pub use frbst;
+pub use frbst::{FrMap, FrSet};
+pub use llxscx;
+pub use vcas;
+pub use workloads;

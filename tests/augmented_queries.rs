@@ -1,0 +1,174 @@
+//! Integration tests for the extended query set (floor/ceiling/
+//! select-in-range/quantile/interval stabbing) under concurrency and
+//! against oracles.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cbat::core::IntervalMap;
+use cbat::{BatMap, PairAug, MinMaxAug, SumAug};
+
+#[test]
+fn floor_ceiling_oracle_large() {
+    let m = BatMap::<u64, u64>::new();
+    let mut oracle = BTreeMap::new();
+    let mut x = 2024u64;
+    for _ in 0..3_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 10_000;
+        m.insert(k, k);
+        oracle.insert(k, k);
+    }
+    let snap = m.snapshot();
+    for probe in (0..10_500).step_by(111) {
+        assert_eq!(
+            snap.floor(&probe).map(|p| p.0),
+            oracle.range(..=probe).next_back().map(|(k, _)| *k),
+            "floor({probe})"
+        );
+        assert_eq!(
+            snap.predecessor(&probe).map(|p| p.0),
+            oracle.range(..probe).next_back().map(|(k, _)| *k),
+            "pred({probe})"
+        );
+        assert_eq!(
+            snap.ceiling(&probe).map(|p| p.0),
+            oracle.range(probe..).next().map(|(k, _)| *k),
+            "ceil({probe})"
+        );
+        assert_eq!(
+            snap.successor(&probe).map(|p| p.0),
+            oracle.range(probe + 1..).next().map(|(k, _)| *k),
+            "succ({probe})"
+        );
+    }
+}
+
+#[test]
+fn select_in_range_oracle() {
+    let m = BatMap::<u64, ()>::new();
+    for k in (0..500u64).filter(|k| k % 3 != 0) {
+        m.insert(k, ());
+    }
+    let snap = m.snapshot();
+    let all: Vec<u64> = snap.keys();
+    for (lo, hi) in [(0u64, 499u64), (10, 20), (100, 100), (400, 300)] {
+        let want: Vec<u64> = all.iter().copied().filter(|k| *k >= lo && *k <= hi).collect();
+        for i in 0..want.len() as u64 + 1 {
+            assert_eq!(
+                snap.select_in_range(&lo, &hi, i).map(|p| p.0),
+                want.get(i as usize).copied(),
+                "select_in_range({lo},{hi},{i})"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_track_distribution_under_writes() {
+    let m = Arc::new(BatMap::<u64, ()>::new());
+    let writer = {
+        let m = m.clone();
+        std::thread::spawn(move || {
+            for k in 0..20_000u64 {
+                m.insert(k, ());
+            }
+        })
+    };
+    // During a uniform 0..n insert stream, the p50 of any snapshot must
+    // sit near the middle of that snapshot's own key range.
+    loop {
+        let snap = m.snapshot();
+        let n = snap.len();
+        if n >= 1_000 {
+            let p50 = snap.quantile(0.5).unwrap().0;
+            let max = snap.last().unwrap().0;
+            assert!(
+                p50 >= max / 4 && p50 <= 3 * max / 4 + 1,
+                "p50 {p50} wildly off for max {max}"
+            );
+        }
+        if n == 20_000 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    writer.join().unwrap();
+    ebr::flush();
+}
+
+#[test]
+fn composed_augmentation_end_to_end() {
+    type Both = PairAug<SumAug, MinMaxAug>;
+    let m = BatMap::<u64, u64, Both>::new();
+    let mut x = 7u64;
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for _ in 0..2_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 300;
+        if x & 1 == 0 {
+            if oracle.insert(k, k * 7).is_none() {
+                m.insert(k, k * 7);
+            }
+        } else {
+            oracle.remove(&k);
+            m.remove(&k);
+        }
+    }
+    for (lo, hi) in [(0u64, 299u64), (50, 99), (200, 150)] {
+        let vals: Vec<u64> = oracle
+            .range(lo.min(hi)..=hi.max(lo))
+            .filter(|_| lo <= hi)
+            .map(|(_, v)| *v)
+            .collect();
+        let (sum, mm) = m.range_aggregate(&lo, &hi);
+        assert_eq!(sum, vals.iter().sum::<u64>(), "sum [{lo},{hi}]");
+        let want_mm = if vals.is_empty() {
+            None
+        } else {
+            Some((
+                *vals.iter().min().unwrap(),
+                *vals.iter().max().unwrap(),
+            ))
+        };
+        assert_eq!(mm, want_mm, "minmax [{lo},{hi}]");
+    }
+}
+
+#[test]
+fn interval_map_under_concurrent_churn() {
+    let m = Arc::new(IntervalMap::new());
+    // Fixed set of long-lived intervals + churning short ones.
+    for id in 0..50u64 {
+        m.insert(id * 10, id * 10 + 100, 1_000_000 + id);
+    }
+    let writers: Vec<_> = (0..3u64)
+        .map(|t| {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let id = t * 100_000 + i;
+                    let s = (t * 37 + i * 13) % 800;
+                    m.insert(s, s + 5, id);
+                    m.remove(s, id);
+                }
+            })
+        })
+        .collect();
+    // Long-lived intervals must always be reported by stabs they cover.
+    for _ in 0..200 {
+        let hits = m.stab(255);
+        let fixed: Vec<_> = hits.iter().filter(|(_, _, id)| *id >= 1_000_000).collect();
+        // Intervals [id*10, id*10+100] containing 255: ids 16..=25.
+        assert_eq!(fixed.len(), 10, "fixed intervals missing: {hits:?}");
+    }
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(m.len(), 50);
+    ebr::flush();
+}

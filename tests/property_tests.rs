@@ -1,0 +1,273 @@
+//! Property-based tests (proptest): sequential op sequences against
+//! `BTreeMap`/`BTreeSet` oracles for every tree in the workspace, plus
+//! structural and query invariants.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use cbat::{BatMap, BatSet, DelegationPolicy, SumAug};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u16),
+    Remove(u16),
+    Contains(u16),
+    Rank(u16),
+    Select(u16),
+    RangeCount(u16, u16),
+    RangeSum(u16, u16),
+    Len,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        any::<u16>().prop_map(|k| Op::Contains(k % 512)),
+        any::<u16>().prop_map(|k| Op::Rank(k % 512)),
+        any::<u16>().prop_map(Op::Select),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::RangeCount(a % 512, b % 512)),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::RangeSum(a % 512, b % 512)),
+        Just(Op::Len),
+    ]
+}
+
+fn oracle_rank(oracle: &BTreeMap<u64, u64>, k: u64) -> u64 {
+    oracle.range(..=k).count() as u64
+}
+
+fn check_sequence(
+    map: &BatMap<u64, u64, SumAug>,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let (k, v) = (k as u64, v as u64);
+                let expect = !oracle.contains_key(&k);
+                if expect {
+                    oracle.insert(k, v);
+                }
+                prop_assert_eq!(map.insert(k, v), expect);
+            }
+            Op::Remove(k) => {
+                let k = k as u64;
+                prop_assert_eq!(map.remove(&k), oracle.remove(&k).is_some());
+            }
+            Op::Contains(k) => {
+                let k = k as u64;
+                prop_assert_eq!(map.contains(&k), oracle.contains_key(&k));
+                prop_assert_eq!(map.get(&k), oracle.get(&k).copied());
+            }
+            Op::Rank(k) => {
+                let k = k as u64;
+                prop_assert_eq!(map.rank(&k), oracle_rank(&oracle, k));
+            }
+            Op::Select(i) => {
+                let i = i as u64;
+                let expect = oracle.iter().nth(i as usize).map(|(k, v)| (*k, *v));
+                prop_assert_eq!(map.select(i), expect);
+            }
+            Op::RangeCount(a, b) => {
+                let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                let expect = oracle.range(lo..=hi).count() as u64;
+                prop_assert_eq!(map.range_count(&lo, &hi), expect);
+            }
+            Op::RangeSum(a, b) => {
+                let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                let expect: u64 = oracle.range(lo..=hi).map(|(_, v)| *v).sum();
+                prop_assert_eq!(map.range_aggregate(&lo, &hi), expect);
+            }
+            Op::Len => {
+                prop_assert_eq!(map.len(), oracle.len() as u64);
+            }
+        }
+    }
+    // Final full-state comparison.
+    let snap = map.snapshot();
+    let got: Vec<(u64, u64)> = snap.iter().collect();
+    let want: Vec<(u64, u64)> = oracle.into_iter().collect();
+    prop_assert_eq!(got, want);
+    Ok(())
+}
+
+// Alias kept for readability at call sites.
+fn check(map: &BatMap<u64, u64, SumAug>, ops: &[Op]) -> Result<(), TestCaseError> {
+    check_sequence(map, ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bat_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let map = BatMap::<u64, u64, SumAug>::new();
+        check(&map, &ops)?;
+        map.node_tree().validate(true).expect("chromatic invariants");
+    }
+
+    #[test]
+    fn bat_del_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let map = BatMap::<u64, u64, SumAug>::with_policy(DelegationPolicy::Del {
+            timeout: Some(std::time::Duration::from_millis(1)),
+        });
+        check(&map, &ops)?;
+    }
+
+    #[test]
+    fn frbst_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let map = BatMap::<u64, u64, SumAug>::new_unbalanced();
+        check(&map, &ops)?;
+    }
+
+    #[test]
+    fn bulk_build_equals_incremental(
+        keys in proptest::collection::btree_set(any::<u16>(), 0..400)
+    ) {
+        let pairs: Vec<(u64, u64)> =
+            keys.iter().map(|&k| (k as u64, k as u64 * 3)).collect();
+        let bulk = BatMap::<u64, u64>::bulk_build(pairs.clone());
+        let inc = BatMap::<u64, u64>::new();
+        for (k, v) in &pairs {
+            inc.insert(*k, *v);
+        }
+        prop_assert_eq!(bulk.len(), inc.len());
+        prop_assert_eq!(bulk.snapshot().keys(), inc.snapshot().keys());
+        for (k, _) in pairs.iter().take(32) {
+            prop_assert_eq!(bulk.rank(k), inc.rank(k));
+            prop_assert_eq!(bulk.get(k), inc.get(k));
+        }
+        bulk.node_tree().validate(true).expect("bulk chromatic invariants");
+    }
+
+    #[test]
+    fn vcas_matches_btreeset(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let set = cbat::vcas::VcasSet::new();
+        let mut oracle: BTreeSet<u64> = BTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, _) => {
+                    let k = k as u64;
+                    prop_assert_eq!(set.insert(k), oracle.insert(k));
+                }
+                Op::Remove(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(set.remove(k), oracle.remove(&k));
+                }
+                Op::Contains(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(set.contains(k), oracle.contains(&k));
+                }
+                Op::RangeCount(a, b) => {
+                    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                    let snap = set.snapshot();
+                    prop_assert_eq!(
+                        snap.range_count(lo, hi),
+                        oracle.range(lo..=hi).count() as u64
+                    );
+                }
+                Op::Rank(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(
+                        set.snapshot().rank(k),
+                        oracle.range(..=k).count() as u64
+                    );
+                }
+                _ => {}
+            }
+        }
+        let want: Vec<u64> = oracle.iter().copied().collect();
+        prop_assert_eq!(set.snapshot().range_collect(0, u64::MAX - 2), want);
+    }
+
+    #[test]
+    fn fanout_matches_btreeset(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let set = cbat::fanout::FanoutSet::new();
+        let mut oracle: BTreeSet<u64> = BTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, _) => {
+                    let k = k as u64;
+                    prop_assert_eq!(set.insert(k), oracle.insert(k));
+                }
+                Op::Remove(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(set.remove(k), oracle.remove(&k));
+                }
+                Op::Contains(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(set.contains(k), oracle.contains(&k));
+                }
+                Op::RangeCount(a, b) => {
+                    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                    prop_assert_eq!(
+                        set.snapshot().range_count(lo, hi),
+                        oracle.range(lo..=hi).count() as u64
+                    );
+                }
+                _ => {}
+            }
+        }
+        let want: Vec<u64> = oracle.iter().copied().collect();
+        prop_assert_eq!(set.snapshot().range_collect(0, u64::MAX), want);
+    }
+
+    #[test]
+    fn chromatic_invariants_hold_for_any_sequence(
+        ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..400)
+    ) {
+        let set = cbat::chromatic::ChromaticSet::<u64>::new();
+        let mut oracle = BTreeSet::new();
+        for (k, ins) in &ops {
+            let k = (*k % 256) as u64;
+            if *ins {
+                prop_assert_eq!(set.insert(k), oracle.insert(k));
+            } else {
+                prop_assert_eq!(set.remove(&k), oracle.remove(&k));
+            }
+        }
+        let shape = set.tree().validate(true).expect("invariants");
+        prop_assert_eq!(shape.keys, oracle.len());
+        let want: Vec<u64> = oracle.iter().copied().collect();
+        prop_assert_eq!(set.collect_keys(), want);
+    }
+
+    #[test]
+    fn rank_select_duality(keys in proptest::collection::btree_set(any::<u16>(), 1..200)) {
+        let set = BatSet::<u64>::new();
+        for &k in &keys {
+            set.insert(k as u64);
+        }
+        let n = set.len();
+        prop_assert_eq!(n, keys.len() as u64);
+        let snap = set.snapshot();
+        for i in 0..n {
+            let k = snap.select(i).map(|(k, _)| k).unwrap();
+            prop_assert_eq!(snap.rank(&k), i + 1);
+            prop_assert_eq!(snap.rank_exclusive(&k), i);
+        }
+    }
+
+    #[test]
+    fn snapshot_frozen_under_any_later_ops(
+        initial in proptest::collection::btree_set(any::<u16>(), 1..100),
+        later in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..100),
+    ) {
+        let set = BatSet::<u64>::new();
+        for &k in &initial {
+            set.insert(k as u64);
+        }
+        let snap = set.snapshot();
+        for (k, ins) in &later {
+            if *ins {
+                set.insert(*k as u64);
+            } else {
+                set.remove(&(*k as u64));
+            }
+        }
+        let want: Vec<u64> = initial.iter().map(|&k| k as u64).collect();
+        prop_assert_eq!(snap.keys(), want);
+    }
+}
