@@ -1,0 +1,188 @@
+//! `bench_pr1` — before/after measurement of the PR 1 hot-path
+//! optimizations (thread-local propagate scratch, striped statistics,
+//! pooled `Version`/`PropStatus` allocation).
+//!
+//! Runs the same update-heavy workload (50% insert / 50% delete, uniform
+//! keys, prefilled) twice in one process: once with
+//! `cbat_core::hotpath::set_baseline(true)` — which restores the seed's
+//! per-update heap allocations and single-stripe contended counters — and
+//! once with the optimized hot path, then writes a JSON record of both so
+//! the repo's perf trajectory is machine-readable.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_pr1 -- \
+//!     [--threads 1,2,4,8] [--duration-ms 500] [--trials 3] \
+//!     [--max-key 131072] [--out BENCH_PR1.json]
+//! ```
+
+use std::time::Duration;
+
+use bench::BatAdapter;
+use workloads::{KeyDist, OpMix, QueryKind, RunConfig};
+
+struct Opts {
+    threads: Vec<usize>,
+    duration: Duration,
+    trials: usize,
+    max_key: u64,
+    out: String,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let mut o = Opts {
+            threads: vec![1, 2, 4, 8],
+            duration: Duration::from_millis(600),
+            trials: 3,
+            max_key: 1 << 15,
+            out: "BENCH_PR1.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut val = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match a.as_str() {
+                "--threads" => {
+                    o.threads = val("--threads")
+                        .split(',')
+                        .map(|t| t.parse().expect("thread count"))
+                        .collect();
+                }
+                "--duration-ms" => {
+                    o.duration = Duration::from_millis(val("--duration-ms").parse().expect("ms"));
+                }
+                "--trials" => o.trials = val("--trials").parse().expect("trials"),
+                "--max-key" => o.max_key = val("--max-key").parse().expect("max key"),
+                "--out" => o.out = val("--out"),
+                other => panic!("unknown option {other}"),
+            }
+        }
+        assert!(
+            !o.threads.is_empty() && o.threads.iter().all(|&t| t >= 1),
+            "--threads needs a comma-separated list of counts >= 1"
+        );
+        assert!(o.trials >= 1, "--trials must be >= 1");
+        o
+    }
+}
+
+struct Measurement {
+    mode: &'static str,
+    threads: usize,
+    mops: f64,
+    avg_nodes_per_propagate: f64,
+    avg_cas_per_propagate: f64,
+    cas_failures: u64,
+    delegations: u64,
+}
+
+/// Best-of-`trials` throughput for one (mode, thread-count) point; the
+/// work-counter averages come from the best trial.
+fn measure(opts: &Opts, mode: &'static str, threads: usize) -> Measurement {
+    cbat_core::hotpath::set_baseline(mode == "baseline");
+    let mut best: Option<Measurement> = None;
+    for trial in 0..opts.trials {
+        // Plain BAT (double refresh, no delegation waits): the variant
+        // whose propagate cost is purest scratch + version traffic, and
+        // the only one that never blocks — which matters when the thread
+        // count oversubscribes the host.
+        let set = BatAdapter::plain();
+        let mut cfg = RunConfig::new(threads, opts.max_key);
+        cfg.mix = OpMix::percent(50, 50, 0, 0);
+        cfg.query = QueryKind::RangeCount { size: 100 };
+        cfg.dist = KeyDist::Uniform;
+        cfg.duration = opts.duration;
+        cfg.seed = 0xBA7_5EED ^ (trial as u64) << 32 ^ threads as u64;
+        let before = set.inner().as_map().stats.snapshot();
+        let r = workloads::run(&set, &cfg);
+        let s = set.inner().as_map().stats.snapshot().delta(&before);
+        let m = Measurement {
+            mode,
+            threads,
+            mops: r.mops(),
+            avg_nodes_per_propagate: s.avg_nodes_per_propagate(),
+            avg_cas_per_propagate: s.avg_cas_per_propagate(),
+            cas_failures: s.cas_failures,
+            delegations: s.delegations,
+        };
+        eprintln!(
+            "  {mode:>9} TT={threads} trial {trial}: {:.3} Mops/s ({:.1} nodes/prop)",
+            m.mops, m.avg_nodes_per_propagate
+        );
+        if best.as_ref().is_none_or(|b| m.mops > b.mops) {
+            best = Some(m);
+        }
+        ebr::flush();
+    }
+    best.expect("at least one trial")
+}
+
+fn json_row(m: &Measurement) -> String {
+    format!(
+        "    {{\"mode\": \"{}\", \"threads\": {}, \"mops\": {:.6}, \
+         \"avg_nodes_per_propagate\": {:.4}, \"avg_cas_per_propagate\": {:.4}, \
+         \"cas_failures\": {}, \"delegations\": {}}}",
+        m.mode,
+        m.threads,
+        m.mops,
+        m.avg_nodes_per_propagate,
+        m.avg_cas_per_propagate,
+        m.cas_failures,
+        m.delegations
+    )
+}
+
+fn main() {
+    let opts = Opts::parse();
+    // Baseline first: the pool is still cold, so the baseline phase cannot
+    // accidentally benefit from warm free lists.
+    let mut rows: Vec<Measurement> = Vec::new();
+    for &mode in &["baseline", "optimized"] {
+        eprintln!("== {mode} hot path ==");
+        for &tt in &opts.threads {
+            rows.push(measure(&opts, mode, tt));
+        }
+    }
+    cbat_core::hotpath::set_baseline(false);
+
+    let mut improvements = Vec::new();
+    for &tt in &opts.threads {
+        let base = rows
+            .iter()
+            .find(|m| m.mode == "baseline" && m.threads == tt)
+            .expect("baseline row");
+        let opt = rows
+            .iter()
+            .find(|m| m.mode == "optimized" && m.threads == tt)
+            .expect("optimized row");
+        let gain = opt.mops / base.mops - 1.0;
+        eprintln!(
+            "TT={tt}: baseline {:.3} -> optimized {:.3} Mops/s ({:+.1}%)",
+            base.mops,
+            opt.mops,
+            gain * 100.0
+        );
+        improvements.push(format!("    {{\"threads\": {tt}, \"gain\": {gain:.4}}}"));
+    }
+
+    let json = format!(
+        "{{\n  \"pr\": 1,\n  \"title\": \"zero-allocation propagate hot path\",\n  \
+         \"workload\": {{\"mix\": \"50i-50d-0f-0rq\", \"dist\": \"uniform\", \
+         \"max_key\": {}, \"prefill\": true, \"duration_ms\": {}, \"trials\": {}, \
+         \"structure\": \"BAT\", \"host_cores\": {}}},\n  \
+         \"results\": [\n{}\n  ],\n  \"update_throughput_gain\": [\n{}\n  ]\n}}\n",
+        opts.max_key,
+        opts.duration.as_millis(),
+        opts.trials,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rows.iter().map(json_row).collect::<Vec<_>>().join(",\n"),
+        improvements.join(",\n"),
+    );
+    std::fs::write(&opts.out, &json).expect("write json");
+    eprintln!("wrote {}", opts.out);
+    print!("{json}");
+}

@@ -234,7 +234,11 @@ fn rq_sizes(max_key: u64) -> Vec<u64> {
 }
 
 fn fig6(o: &Opts, which: char) {
-    let mk_key = if which == 'a' { mk_small(o) } else { mk_large(o) };
+    let mk_key = if which == 'a' {
+        mk_small(o)
+    } else {
+        mk_large(o)
+    };
     let exp = format!("fig6{which}");
     header(
         &exp,
@@ -258,7 +262,11 @@ fn fig6(o: &Opts, which: char) {
 }
 
 fn fig7(o: &Opts, which: char) {
-    let mk_key = if which == 'a' { mk_small(o) } else { mk_large(o) };
+    let mk_key = if which == 'a' {
+        mk_small(o)
+    } else {
+        mk_large(o)
+    };
     let exp = format!("fig7{which}");
     header(
         &exp,
@@ -341,9 +349,7 @@ fn fig10(o: &Opts) {
     let t = *o.threads.last().unwrap();
     header(
         "fig10",
-        &format!(
-            "throughput vs max key, TT {t}, RQ {rq}, 25-25-25-25, Zipf 0.95 (paper Fig. 10)"
-        ),
+        &format!("throughput vs max key, TT {t}, RQ {rq}, 25-25-25-25, Zipf 0.95 (paper Fig. 10)"),
         "experiment,structure,max_key,mops",
     );
     let sizes: Vec<u64> = [100_000u64, 1_000_000, 10_000_000]
@@ -371,9 +377,7 @@ fn stats(o: &Opts) {
     let t = *o.threads.last().unwrap();
     header(
         "stats",
-        &format!(
-            "§7 work counters, TT {t}, MK {mk_key}, RQ {rq}, 25-25-25-25"
-        ),
+        &format!("§7 work counters, TT {t}, MK {mk_key}, RQ {rq}, 25-25-25-25"),
         "experiment,structure,dist,nodes_per_prop,nil_fixes_per_prop,cas_per_prop",
     );
     for dist in [KeyDist::Uniform, KeyDist::Zipf(0.99)] {
@@ -462,13 +466,13 @@ fn ablation_augment(o: &Opts) {
     let mk_key = mk_large(o);
     header(
         "ablation-augment",
-        &format!(
-            "augmentation overhead, TT {t}, MK {mk_key}, update-only uniform"
-        ),
+        &format!("augmentation overhead, TT {t}, MK {mk_key}, update-only uniform"),
         "experiment,structure,mops",
     );
     let sets: Vec<(&str, MkSet)> = vec![
-        ("Chromatic (unaugmented)", || Box::new(ChromaticAdapter::new())),
+        ("Chromatic (unaugmented)", || {
+            Box::new(ChromaticAdapter::new())
+        }),
         ("BAT", || Box::new(BatAdapter::plain())),
         ("BAT-EagerDel", || Box::new(BatAdapter::eager())),
     ];

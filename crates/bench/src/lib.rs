@@ -187,7 +187,9 @@ impl BenchSet for VcasAdapter {
     fn select(&self, i: u64) -> Option<u64> {
         // Unaugmented: select must scan (Θ(i)).
         let snap = self.set.snapshot();
-        snap.range_collect(0, u64::MAX - 2).into_iter().nth(i as usize)
+        snap.range_collect(0, u64::MAX - 2)
+            .into_iter()
+            .nth(i as usize)
     }
     fn size_hint(&self) -> u64 {
         self.approx_size.load(Ordering::Relaxed).max(0) as u64

@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use llxscx::{Llx, Linked, RecordHeader};
+use llxscx::{Linked, Llx, RecordHeader};
 
 use crate::key::SentKey;
 
@@ -260,6 +260,30 @@ where
     unsafe { free_node::<K, V, P>(raw as *mut u8) };
 }
 
+impl<K: Ord, V, P> Node<K, V, P> {
+    /// The child a search for the sentinel-extended key follows
+    /// (leaf-oriented rule: left iff `key < self.key`).
+    #[inline]
+    pub fn child_for_sent(&self, key: &SentKey<K>, snap: ChildSnap) -> u64 {
+        if key < &self.key {
+            snap.0
+        } else {
+            snap.1
+        }
+    }
+
+    /// The child-pointer field a search for the sentinel-extended key
+    /// follows.
+    #[inline]
+    pub fn field_for_sent(&self, key: &SentKey<K>) -> *const AtomicU64 {
+        if key < &self.key {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,29 +341,5 @@ mod tests {
         let leaf = Node::<u64, (), Counting>::new_leaf(SentKey::Key(1), 1, Some(()));
         unsafe { dispose_unpublished::<u64, (), Counting>(leaf as u64) };
         assert_eq!(RECLAIMS.load(Ordering::SeqCst), before + 1);
-    }
-}
-
-impl<K: Ord, V, P> Node<K, V, P> {
-    /// The child a search for the sentinel-extended key follows
-    /// (leaf-oriented rule: left iff `key < self.key`).
-    #[inline]
-    pub fn child_for_sent(&self, key: &SentKey<K>, snap: ChildSnap) -> u64 {
-        if key < &self.key {
-            snap.0
-        } else {
-            snap.1
-        }
-    }
-
-    /// The child-pointer field a search for the sentinel-extended key
-    /// follows.
-    #[inline]
-    pub fn field_for_sent(&self, key: &SentKey<K>) -> *const AtomicU64 {
-        if key < &self.key {
-            &self.left
-        } else {
-            &self.right
-        }
     }
 }

@@ -229,13 +229,8 @@ where
             };
             let p_new = p.copy_with_weight(1, psnap) as u64;
             let u_new = uncle.copy_with_weight(1, usnap) as u64;
-            let gp_new = oriented::<K, V, P>(
-                gp.key().clone(),
-                gp.weight() - 1,
-                p_new,
-                u_new,
-                p_left,
-            );
+            let gp_new =
+                oriented::<K, V, P>(gp.key().clone(), gp.weight() - 1, p_new, u_new, p_left);
             let (ca, cb) = if p_left {
                 (p.linked(pinfo), uncle.linked(uinfo))
             } else {
@@ -264,15 +259,8 @@ where
             // RB1: single rotation (outer grandchild). Canonical LL:
             //   top p'{w=gp.w}: left = l, right = gp'{w=0}: (β, uncle).
             let beta = if p_left { psnap.1 } else { psnap.0 };
-            let gp_new =
-                oriented::<K, V, P>(gp.key().clone(), 0, beta, uncle_raw, p_left);
-            let top = oriented::<K, V, P>(
-                p.key().clone(),
-                gp.weight(),
-                l.as_raw(),
-                gp_new,
-                p_left,
-            );
+            let gp_new = oriented::<K, V, P>(gp.key().clone(), 0, beta, uncle_raw, p_left);
+            let top = oriented::<K, V, P>(p.key().clone(), gp.weight(), l.as_raw(), gp_new, p_left);
             let ok = unsafe {
                 llxscx::scx(
                     &[ggp.linked(ggpinfo), gp.linked(gpinfo), p.linked(pinfo)],
@@ -412,8 +400,8 @@ where
             } else {
                 (ssnap.1, ssnap.0)
             };
-            let near_red = near_raw != 0
-                && unsafe { Node::<K, V, P>::from_raw(near_raw) }.weight() == 0;
+            let near_red =
+                near_raw != 0 && unsafe { Node::<K, V, P>::from_raw(near_raw) }.weight() == 0;
             let far_red =
                 far_raw != 0 && unsafe { Node::<K, V, P>::from_raw(far_raw) }.weight() == 0;
 
@@ -432,13 +420,8 @@ where
                 };
                 let l_new = l.copy_with_weight(l.weight() - 1, lsnap) as u64;
                 let s_new = s.copy_with_weight(s.weight() - 1, ssnap) as u64;
-                let p_new = oriented::<K, V, P>(
-                    p.key().clone(),
-                    p.weight() + 1,
-                    l_new,
-                    s_new,
-                    l_left,
-                );
+                let p_new =
+                    oriented::<K, V, P>(p.key().clone(), p.weight() + 1, l_new, s_new, l_left);
                 let (ca, cb) = if l_left {
                     (l.linked(linfo), s.linked(sinfo))
                 } else {

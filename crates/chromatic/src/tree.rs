@@ -190,6 +190,7 @@ where
     /// Search for `k`, returning `(grandparent, parent, leaf)`.
     /// The leaf is where `k` lives if present. The grandparent always
     /// exists because the sentinel structure is two levels deep.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn search<'g>(
         &'g self,
         k: &K,
@@ -298,8 +299,7 @@ where
             if ok {
                 self.stats.scx_commits.fetch_add(1, Ordering::Relaxed);
                 unsafe { retire_node::<K, V, P>(guard, l.as_raw()) };
-                let violation =
-                    (new_weight == 0 && p.weight() == 0) || new_weight >= 2;
+                let violation = (new_weight == 0 && p.weight() == 0) || new_weight >= 2;
                 if self.balanced && violation {
                     self.cleanup(&SentKey::Key(k), guard);
                 }

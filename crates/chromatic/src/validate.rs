@@ -59,7 +59,7 @@ where
         let mut max_depth = 0usize;
 
         // DFS with (node, lower, upper, weight_sum, depth, parent_weight).
-        #[allow(clippy::type_complexity)]
+        #[allow(clippy::too_many_arguments)]
         fn dfs<K, V, P>(
             node: &Node<K, V, P>,
             lower: Option<&SentKey<K>>,
@@ -242,8 +242,8 @@ where
                     V: Clone + Send + Sync,
                     P: NodePlugin<K, V>,
                 {
-                    let violated = (node.weight() == 0 && parent_w == 0)
-                        || (node.weight() >= 2 && !is_root);
+                    let violated =
+                        (node.weight() == 0 && parent_w == 0) || (node.weight() >= 2 && !is_root);
                     if violated {
                         // Leftmost leaf key under this node routes to it.
                         let mut cur = node;
@@ -286,7 +286,10 @@ mod negative_tests {
     type N = Node<u64, (), ()>;
 
     /// Swap in a hand-built real tree, run validate, restore, and clean up.
-    fn with_root(make: impl FnOnce() -> u64, check: impl FnOnce(Result<crate::validate::TreeShape, Invalid>)) {
+    fn with_root(
+        make: impl FnOnce() -> u64,
+        check: impl FnOnce(Result<crate::validate::TreeShape, Invalid>),
+    ) {
         let tree = T::new();
         let root = make();
         let inf1 = unsafe { N::from_raw(tree.entry().left_raw()) };
@@ -304,9 +307,7 @@ mod negative_tests {
             unsafe { dispose_unpublished::<u64, (), ()>(raw) };
         }
         let built = inf1.left_raw();
-        unsafe {
-            (*inf1.left_field()).store(placeholder, std::sync::atomic::Ordering::Release)
-        };
+        unsafe { (*inf1.left_field()).store(placeholder, std::sync::atomic::Ordering::Release) };
         free_rec(built);
     }
 

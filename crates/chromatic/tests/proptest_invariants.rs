@@ -3,6 +3,8 @@
 //! but at random points mid-sequence, catching transiently-broken states
 //! that end-only checks miss.
 
+#![cfg(feature = "proptest")]
+
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;

@@ -62,10 +62,15 @@ fn deletions_trigger_overweight_cases() {
             set.remove(&k);
             k += step;
         }
-        set.tree().validate(true).unwrap_or_else(|e| panic!("step {step}: {e:?}"));
+        set.tree()
+            .validate(true)
+            .unwrap_or_else(|e| panic!("step {step}: {e:?}"));
         step *= 2;
     }
-    assert!(kind_count(&set, RebalanceKind::Push) > 0, "PUSH never fired");
+    assert!(
+        kind_count(&set, RebalanceKind::Push) > 0,
+        "PUSH never fired"
+    );
     assert!(
         kind_count(&set, RebalanceKind::W7)
             + kind_count(&set, RebalanceKind::WFar) // includes W-near
@@ -94,7 +99,10 @@ fn random_mixes_stay_balanced() {
                 set.remove(&k);
             }
         }
-        let shape = set.tree().validate(true).unwrap_or_else(|e| panic!("range {range}: {e:?}"));
+        let shape = set
+            .tree()
+            .validate(true)
+            .unwrap_or_else(|e| panic!("range {range}: {e:?}"));
         if shape.keys >= 16 {
             let log2 = 64 - (shape.keys as u64).leading_zeros() as usize;
             assert!(
@@ -155,7 +163,9 @@ fn concurrent_rebalance_stress() {
         let guard = ebr::pin();
         set.tree().cleanup_everywhere(&guard);
         drop(guard);
-        set.tree().validate(true).unwrap_or_else(|e| panic!("round {round}: {e:?}"));
+        set.tree()
+            .validate(true)
+            .unwrap_or_else(|e| panic!("round {round}: {e:?}"));
         ebr::flush();
     }
 }

@@ -38,11 +38,11 @@ where
 {
     type Value = ();
     #[inline]
-    fn leaf(_: &K, _: &V) -> () {}
+    fn leaf(_: &K, _: &V) {}
     #[inline]
-    fn sentinel() -> () {}
+    fn sentinel() {}
     #[inline]
-    fn combine(_: &(), _: &()) -> () {}
+    fn combine(_: &(), _: &()) {}
 }
 
 /// Sum of values: supports O(log n) range-sum queries.
@@ -92,9 +92,7 @@ where
     fn combine(l: &MinMax, r: &MinMax) -> MinMax {
         match (*l, *r) {
             (None, x) | (x, None) => x,
-            (Some((lmin, lmax)), Some((rmin, rmax))) => {
-                Some((lmin.min(rmin), lmax.max(rmax)))
-            }
+            (Some((lmin, lmax)), Some((rmin, rmax))) => Some((lmin.min(rmin), lmax.max(rmax))),
         }
     }
 }

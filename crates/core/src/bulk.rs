@@ -1,6 +1,7 @@
 //! Parallel bulk operations (the "parallel bulk operations" extension):
 //! O(n) parallel construction of a valid chromatic tree from sorted data,
-//! and rayon-driven concurrent batch insertion.
+//! and multi-threaded batch insertion (plain `std::thread::scope` fork/join
+//! — the workspace carries no external thread-pool dependency).
 //!
 //! Construction builds a weight-balanced node tree directly (all internal
 //! nodes black; where halves differ in depth, the deeper child is made
@@ -16,9 +17,27 @@ use crate::map::BatMap;
 use crate::propagate::DelegationPolicy;
 use crate::refresh::{read_version, BatNode};
 
-
 /// Below this many leaves, build sequentially rather than forking.
 const PAR_THRESHOLD: usize = 2048;
+
+/// Remaining fork budget for the first call: enough levels to occupy every
+/// core, plus one for slack against uneven halves.
+fn initial_forks() -> u32 {
+    (usize::BITS - ebr::cores().leading_zeros()) + 1
+}
+
+/// Run `a` and `b` in parallel on scoped threads, returning both results.
+fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().expect("bulk-build worker panicked"), rb)
+    })
+}
 
 /// `floor(log2(len)) + 1` — the black-rooted weighted height our
 /// construction produces for `len` leaves.
@@ -30,7 +49,7 @@ fn s(len: usize) -> u32 {
 /// Build the subtree over logical leaves `lo..hi`, where logical index
 /// `pairs.len()` denotes the trailing ∞₁ sentinel leaf. `weight` is the
 /// weight of the subtree's root node.
-fn build<K, V, A>(pairs: &[(K, V)], lo: usize, hi: usize, weight: u32) -> u64
+fn build<K, V, A>(pairs: &[(K, V)], lo: usize, hi: usize, weight: u32, forks: u32) -> u64
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
@@ -59,15 +78,15 @@ where
     } else {
         SentKey::Inf1
     };
-    let (l, r) = if len >= PAR_THRESHOLD {
-        rayon::join(
-            || build::<K, V, A>(pairs, lo, mid, wl),
-            || build::<K, V, A>(pairs, mid, hi, 1),
+    let (l, r) = if len >= PAR_THRESHOLD && forks > 0 {
+        join(
+            || build::<K, V, A>(pairs, lo, mid, wl, forks - 1),
+            || build::<K, V, A>(pairs, mid, hi, 1, forks - 1),
         )
     } else {
         (
-            build::<K, V, A>(pairs, lo, mid, wl),
-            build::<K, V, A>(pairs, mid, hi, 1),
+            build::<K, V, A>(pairs, lo, mid, wl, 0),
+            build::<K, V, A>(pairs, mid, hi, 1, 0),
         )
     };
     BatNode::<K, V, A>::new_internal(ikey, weight, l, r) as u64
@@ -79,11 +98,11 @@ where
     V: Clone + Send + Sync + 'static,
     A: Augmentation<K, V>,
 {
-    /// Build a BAT holding `pairs` in O(n) work (parallelized with rayon
+    /// Build a BAT holding `pairs` in O(n) work (forked across cores
     /// above [`PAR_THRESHOLD`] leaves). Input is sorted and deduplicated
     /// by key (last write wins).
-    pub fn bulk_build(mut pairs: Vec<(K, V)>) -> Self {
-        Self::bulk_build_with(pairs.drain(..).collect(), true, DelegationPolicy::None)
+    pub fn bulk_build(pairs: Vec<(K, V)>) -> Self {
+        Self::bulk_build_with(pairs, true, DelegationPolicy::None)
     }
 
     /// Bulk build with explicit balance/policy configuration.
@@ -102,18 +121,17 @@ where
             return map;
         }
         // Logical leaves: the n pairs plus the trailing ∞₁ sentinel.
-        let root = build::<K, V, A>(&pairs, 0, pairs.len() + 1, 1);
+        let root = build::<K, V, A>(&pairs, 0, pairs.len() + 1, 1, initial_forks());
         unsafe { map.tree.replace_real_root(root) };
         // The bulk-built internals have nil versions: the first refresh of
         // their ancestors materializes the whole version tree bottom-up in
         // O(n). The two sentinel internals, however, still carry the stale
         // empty versions from `with_options`, so refresh them bottom-up.
         let guard = ebr::pin();
-        let inf1 = unsafe {
-            crate::refresh::BatNode::<K, V, A>::from_raw(map.tree.entry().left_raw())
-        };
+        let inf1 =
+            unsafe { crate::refresh::BatNode::<K, V, A>::from_raw(map.tree.entry().left_raw()) };
         for node in [inf1, map.tree.entry()] {
-            let r = crate::refresh::refresh_top(node, 0, &map.stats);
+            let r = crate::refresh::refresh_top(node, 0, &map.stats.local());
             debug_assert!(r.success, "unshared tree refresh cannot fail");
             if r.success {
                 unsafe { crate::version::retire_version::<K, V, A>(&guard, r.replaced) };
@@ -124,13 +142,26 @@ where
         map
     }
 
-    /// Insert a batch concurrently using rayon's thread pool. Each insert
-    /// is an independent linearizable operation; this is a throughput
-    /// helper, not an atomic batch.
+    /// Insert a batch concurrently, chunked over one scoped thread per
+    /// core. Each insert is an independent linearizable operation; this is
+    /// a throughput helper, not an atomic batch.
     pub fn par_insert_all(&self, items: Vec<(K, V)>) {
-        use rayon::prelude::*;
-        items.into_par_iter().for_each(|(k, v)| {
-            self.insert(k, v);
+        let workers = ebr::cores().min(items.len().max(1));
+        let per = items.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<(K, V)>> = Vec::with_capacity(workers);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().saturating_sub(per));
+            chunks.push(rest);
+        }
+        std::thread::scope(|s| {
+            for chunk in chunks {
+                s.spawn(move || {
+                    for (k, v) in chunk {
+                        self.insert(k, v);
+                    }
+                });
+            }
         });
     }
 }

@@ -1,0 +1,59 @@
+//! Runtime switch between the optimized update hot path and a "baseline"
+//! mode that reproduces the seed's per-update costs, so one binary can
+//! measure the optimization honestly (see `bench_pr1` in `crates/bench`).
+//!
+//! Baseline mode restores, per update:
+//! * fresh heap-allocated propagate scratch instead of the thread-local
+//!   reusable arena ([`crate::propagate`]);
+//! * a single shared statistics stripe, re-creating the cross-core
+//!   cacheline ping-pong of the original global counters
+//!   ([`crate::stats`]);
+//! * plain `malloc`/`free` for `Version` and `PropStatus` objects instead
+//!   of the EBR free-list pool ([`ebr::pool`]).
+//!
+//! The switch is process-global and intended to be flipped only between
+//! benchmark phases, not concurrently with updates (flipping mid-update is
+//! memory-safe — pool blocks are layout-compatible with the global
+//! allocator in both modes — but the measurement would be meaningless).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static BASELINE: AtomicBool = AtomicBool::new(false);
+
+/// Enable (`true`) or disable (`false`) baseline mode.
+pub fn set_baseline(on: bool) {
+    BASELINE.store(on, Ordering::Relaxed);
+    ebr::pool::set_enabled(!on);
+}
+
+/// Whether baseline mode is active.
+#[inline]
+pub fn baseline() -> bool {
+    BASELINE.load(Ordering::Relaxed)
+}
+
+/// Initialize from the `CBAT_BASELINE_HOTPATH` environment variable
+/// (any non-empty value other than `0` enables baseline mode). Returns
+/// the resulting mode.
+pub fn init_from_env() -> bool {
+    let on = std::env::var("CBAT_BASELINE_HOTPATH")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    set_baseline(on);
+    on
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggling_baseline_tracks_pool_state() {
+        set_baseline(true);
+        assert!(baseline());
+        assert!(!ebr::pool::enabled());
+        set_baseline(false);
+        assert!(!baseline());
+        assert!(ebr::pool::enabled());
+    }
+}

@@ -51,6 +51,7 @@
 
 pub mod augment;
 pub mod bulk;
+pub mod hotpath;
 pub mod interval;
 pub mod map;
 pub mod propagate;
@@ -60,10 +61,12 @@ pub mod snapshot;
 pub mod stats;
 pub mod version;
 
-pub use augment::{Augmentation, KeySumAug, MinMax, MinMaxAug, PairAug, SizeOnly, StatsAug, SumAug};
+pub use augment::{
+    Augmentation, KeySumAug, MinMax, MinMaxAug, PairAug, SizeOnly, StatsAug, SumAug,
+};
+pub use interval::IntervalMap;
 pub use map::{BatMap, BatSet};
 pub use propagate::DelegationPolicy;
-pub use interval::IntervalMap;
 pub use snapshot::Snapshot;
 pub use stats::{BatStats, StatsSnapshot};
 

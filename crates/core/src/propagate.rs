@@ -2,7 +2,20 @@
 //! lines 32–48), plus the two delegation variants BAT-Del (Fig. 13) and
 //! BAT-EagerDel (Fig. 14) and the timeout fallback that restores
 //! lock-freedom.
+//!
+//! ## Hot-path scratch
+//!
+//! `propagate` runs once per update, so its working state — the set of
+//! already-refreshed nodes, the descent stack, and the list of replaced
+//! versions to retire — is kept in a reusable thread-local
+//! [`PropScratch`] arena instead of being heap-allocated per call. The
+//! `refreshed` set is a root-to-leaf path (O(log n) entries), so a plain
+//! vector with linear membership checks beats hashing *and* allocates
+//! nothing after warm-up. In baseline mode ([`crate::hotpath`]) every call
+//! builds fresh vectors, reproducing the seed's per-update allocations for
+//! before/after measurement.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
@@ -12,7 +25,7 @@ use ebr::Guard;
 
 use crate::augment::Augmentation;
 use crate::refresh::{refresh_top, BatNode};
-use crate::stats::BatStats;
+use crate::stats::{BatStats, StatsHandle};
 use crate::version::{retire_version, PropStatus};
 
 /// Which propagate variant a tree runs (paper §5).
@@ -47,6 +60,53 @@ impl DelegationPolicy {
     }
 }
 
+/// Reusable per-thread working state for [`propagate`]. All members keep
+/// their capacity between calls; `clear` is O(len).
+#[derive(Default)]
+struct PropScratch {
+    /// Raw pointers of nodes already refreshed by this propagate. A
+    /// root-to-leaf path, so membership is a short linear scan.
+    refreshed: Vec<u64>,
+    /// Baseline mode only: the seed's per-call hashed `refreshed` set,
+    /// kept so the before/after benchmark measures the true "before".
+    refreshed_hash: Option<HashSet<u64>>,
+    /// Descent stack of raw node pointers (bottom = entry).
+    stack: Vec<u64>,
+    /// Replaced versions, retired together once the root is reached (§6).
+    to_retire: Vec<u64>,
+}
+
+impl PropScratch {
+    fn clear(&mut self) {
+        self.refreshed.clear();
+        self.refreshed_hash = None;
+        self.stack.clear();
+        self.to_retire.clear();
+    }
+
+    #[inline]
+    fn is_refreshed(&self, raw: u64) -> bool {
+        match &self.refreshed_hash {
+            Some(h) => h.contains(&raw),
+            None => self.refreshed.contains(&raw),
+        }
+    }
+
+    #[inline]
+    fn mark_refreshed(&mut self, raw: u64) {
+        match &mut self.refreshed_hash {
+            Some(h) => {
+                h.insert(raw);
+            }
+            None => self.refreshed.push(raw),
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<PropScratch> = RefCell::new(PropScratch::default());
+}
+
 /// Result of waiting on a delegation chain.
 enum WaitResult {
     Done,
@@ -56,11 +116,18 @@ enum WaitResult {
 /// `WaitForDelegatee` (Fig. 12 lines 1–7): spin on the chain head's `done`
 /// flag, hopping along `delegatee` pointers so a long chain costs one wait.
 ///
+/// The deadline is computed once up front (and only when a timeout is
+/// configured), keeping `Instant::now()` syscalls out of the spin loop;
+/// the clock is re-read only on the slow yield path, every 64 spins.
+///
 /// Safety of the chased pointers: every `PropStatus` we can reach is kept
 /// alive by the epoch pins of the still-running propagates that link to it
 /// (§6; see DESIGN.md for the pin-ordering argument).
-fn wait_for_delegatee(start: u64, timeout: Option<Duration>, stats: &BatStats) -> WaitResult {
-    let began = Instant::now();
+fn wait_for_delegatee(start: u64, timeout: Option<Duration>, h: &StatsHandle<'_>) -> WaitResult {
+    // `checked_add`: a timeout too large to represent as an instant (e.g.
+    // Duration::MAX) degrades to "never time out", like the seed's
+    // elapsed()-based check, instead of panicking.
+    let deadline = timeout.and_then(|t| Instant::now().checked_add(t));
     let mut d = unsafe { &*(start as *const PropStatus) };
     let mut spins = 0u32;
     loop {
@@ -76,9 +143,9 @@ fn wait_for_delegatee(start: u64, timeout: Option<Duration>, stats: &BatStats) -
         if spins & 0x3f == 0 {
             // Single-core friendliness: hand the CPU to the delegatee.
             std::thread::yield_now();
-            if let Some(t) = timeout {
-                if began.elapsed() >= t {
-                    stats.delegation_timeouts.incr();
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    h.incr_delegation_timeouts();
                     return WaitResult::TimedOut;
                 }
             }
@@ -104,19 +171,32 @@ pub fn propagate<K, V, A>(
     V: Clone + Send + Sync + 'static,
     A: Augmentation<K, V>,
 {
-    stats.propagates.incr();
+    let h = stats.local();
+    h.incr_propagates();
+    let baseline = crate::hotpath::baseline();
+    // Take the thread-local scratch for the duration of the call (put back
+    // at the end, retaining capacity). Baseline mode allocates fresh.
+    let mut scratch = if baseline {
+        PropScratch {
+            refreshed_hash: Some(HashSet::new()),
+            ..PropScratch::default()
+        }
+    } else {
+        SCRATCH.with(|s| s.take())
+    };
     let ps: u64 = match policy {
         DelegationPolicy::None => 0,
         _ => PropStatus::alloc() as u64,
     };
-    let mut refreshed: HashSet<u64> = HashSet::new();
-    let mut stack: Vec<&BatNode<K, V, A>> = vec![entry];
-    let mut to_retire: Vec<u64> = Vec::new();
+    scratch.stack.push(entry.as_raw());
 
     'outer: loop {
         // Descend from the top of the stack until the next child on the
         // search path is already refreshed or is a leaf (Fig. 3 37–41).
-        let mut next = *stack.last().expect("stack never empties before root");
+        let mut next = unsafe {
+            BatNode::<K, V, A>::from_raw(*scratch.stack.last().expect("stack never empties"))
+        };
+        let mut descended = 0u64;
         loop {
             let child_raw = if key < next.key() {
                 next.left_raw()
@@ -124,52 +204,63 @@ pub fn propagate<K, V, A>(
                 next.right_raw()
             };
             let child = unsafe { BatNode::<K, V, A>::from_raw(child_raw) };
-            stats.nodes_visited.incr();
-            if refreshed.contains(&child_raw) || child.is_leaf() {
+            if baseline {
+                // Faithful "before": one shared-stripe RMW per node
+                // visited, exactly as the seed counted.
+                stats.incr_nodes_visited();
+            } else {
+                descended += 1;
+            }
+            if scratch.is_refreshed(child_raw) || child.is_leaf() {
                 break;
             }
-            stack.push(child);
+            scratch.stack.push(child_raw);
             next = child;
         }
-        let top = stack.pop().expect("descent keeps at least one node");
+        if descended > 0 {
+            h.add_nodes_visited(descended);
+        }
+        let top = unsafe {
+            BatNode::<K, V, A>::from_raw(scratch.stack.pop().expect("descent keeps one node"))
+        };
 
         match policy {
             DelegationPolicy::None => {
                 // Double refresh (Fig. 3 lines 43–45).
-                let r1 = refresh_top(top, 0, stats);
+                let r1 = refresh_top(top, 0, &h);
                 if r1.success {
-                    to_retire.push(r1.replaced);
+                    scratch.to_retire.push(r1.replaced);
                 } else {
-                    let r2 = refresh_top(top, 0, stats);
+                    let r2 = refresh_top(top, 0, &h);
                     if r2.success {
-                        to_retire.push(r2.replaced);
+                        scratch.to_retire.push(r2.replaced);
                     }
                     // Both failed: someone else's refresh covered us
                     // (Fig. 3's guarantee); move on.
                 }
             }
             DelegationPolicy::Del { timeout } => {
-                let r1 = refresh_top(top, ps, stats);
+                let r1 = refresh_top(top, ps, &h);
                 if r1.success {
-                    to_retire.push(r1.replaced);
+                    scratch.to_retire.push(r1.replaced);
                 } else {
-                    let r2 = refresh_top(top, ps, stats);
+                    let r2 = refresh_top(top, ps, &h);
                     if r2.success {
-                        to_retire.push(r2.replaced);
+                        scratch.to_retire.push(r2.replaced);
                     } else if !top.is_finalized() {
                         if r2.blocker != 0 {
                             // Delegate: publish the link, then wait
                             // (Fig. 13 lines 16–24).
-                            stats.delegations.incr();
+                            h.incr_delegations();
                             let status = unsafe { &*(ps as *const PropStatus) };
                             status.delegatee.store(r2.blocker, Ordering::Release);
-                            match wait_for_delegatee(r2.blocker, timeout, stats) {
+                            match wait_for_delegatee(r2.blocker, timeout, &h) {
                                 WaitResult::Done => break 'outer,
                                 WaitResult::TimedOut => {
                                     // Resume ourselves (lock-free fallback):
                                     // retry this node.
                                     status.delegatee.store(0, Ordering::Release);
-                                    stack.push(top);
+                                    scratch.stack.push(top.as_raw());
                                     continue 'outer;
                                 }
                             }
@@ -177,7 +268,7 @@ pub fn propagate<K, V, A>(
                             // No status on the winning version (can only
                             // happen for the entry's initial version):
                             // retry this node.
-                            stack.push(top);
+                            scratch.stack.push(top.as_raw());
                             continue 'outer;
                         }
                     }
@@ -191,9 +282,9 @@ pub fn propagate<K, V, A>(
                 // observes stable child version pointers; delegate on any
                 // failure at a non-finalized node.
                 loop {
-                    let r = refresh_top(top, ps, stats);
+                    let r = refresh_top(top, ps, &h);
                     if r.success {
-                        to_retire.push(r.replaced);
+                        scratch.to_retire.push(r.replaced);
                         // Stability check (line 24): the children's
                         // *current* versions must equal what we read.
                         let l = unsafe { BatNode::<K, V, A>::from_raw(top.left_raw()) };
@@ -209,10 +300,10 @@ pub fn propagate<K, V, A>(
                         break;
                     }
                     if r.blocker != 0 {
-                        stats.delegations.incr();
+                        h.incr_delegations();
                         let status = unsafe { &*(ps as *const PropStatus) };
                         status.delegatee.store(r.blocker, Ordering::Release);
-                        match wait_for_delegatee(r.blocker, timeout, stats) {
+                        match wait_for_delegatee(r.blocker, timeout, &h) {
                             WaitResult::Done => break 'outer,
                             WaitResult::TimedOut => {
                                 status.delegatee.store(0, Ordering::Release);
@@ -225,7 +316,7 @@ pub fn propagate<K, V, A>(
             }
         }
 
-        refreshed.insert(top.as_raw());
+        scratch.mark_refreshed(top.as_raw());
         if top.as_raw() == entry.as_raw() {
             break;
         }
@@ -237,13 +328,19 @@ pub fn propagate<K, V, A>(
             .done
             .store(true, Ordering::Release);
         // A PropStatus is safely retired at the end of the propagate that
-        // created it, even while still reachable (§6).
-        unsafe { guard.retire(ps as *mut PropStatus) };
+        // created it, even while still reachable (§6); its memory returns
+        // to the free-list pool after the grace period.
+        unsafe { PropStatus::retire(guard, ps as *mut PropStatus) };
     }
     // Once the root is refreshed (or our delegatee finished, which implies
     // the same), every replaced version is unreachable from the root of
     // the version tree (§6): retire the toRetire list.
-    for v in to_retire {
+    for &v in &scratch.to_retire {
         unsafe { retire_version::<K, V, A>(guard, v) };
+    }
+
+    if !baseline {
+        scratch.clear();
+        SCRATCH.with(|s| *s.borrow_mut() = scratch);
     }
 }

@@ -15,7 +15,7 @@
 use chromatic::Node;
 
 use crate::augment::Augmentation;
-use crate::stats::BatStats;
+use crate::stats::{BatStats, StatsHandle};
 use crate::version::{dispose_version, Version, VersionSlot};
 
 /// A node of the augmented tree: a chromatic node whose plugin slot is the
@@ -66,7 +66,7 @@ where
     A: Augmentation<K, V>,
 {
     debug_assert!(!x.is_leaf(), "leaves always carry versions (Obs. 13)");
-    stats.nil_fixes.incr();
+    stats.incr_nil_fixes();
     let vl = loop {
         // Consistent (child, child.version) read: re-check the child
         // pointer after obtaining the version (Fig. 12 lines 19–22).
@@ -86,7 +86,7 @@ where
         }
     };
     let new = unsafe { Version::<K, V, A>::combine(x.key(), vl, vr, 0) } as u64;
-    stats.cas_attempts.incr();
+    stats.incr_cas_attempts();
     if x.plugin.cas(0, new).is_err() {
         // Another thread fixed the nil pointer first: our version was never
         // published, drop it immediately.
@@ -97,16 +97,21 @@ where
 /// Top-level `Refresh` (Fig. 12 lines 30–48): install a new version for
 /// `x` computed from its children's versions; `status` is the calling
 /// propagate's `PropStatus` (0 for the plain, non-delegating variant).
+///
+/// Takes a [`StatsHandle`] rather than `&BatStats`: this runs several
+/// times per update, and the handle amortizes the striped-counter
+/// thread-id resolution over the whole propagate.
 pub fn refresh_top<K, V, A>(
     x: &BatNode<K, V, A>,
     status: u64,
-    stats: &BatStats,
+    h: &StatsHandle<'_>,
 ) -> RefreshOutcome
 where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
     A: Augmentation<K, V>,
 {
+    let stats = h.stats();
     let old = read_version(x, stats);
     let vl = loop {
         let xl_raw = x.left_raw();
@@ -125,7 +130,7 @@ where
         }
     };
     let new = unsafe { Version::<K, V, A>::combine(x.key(), vl, vr, status) } as u64;
-    stats.cas_attempts.incr();
+    h.incr_cas_attempts();
     match x.plugin.cas(old, new) {
         Ok(()) => RefreshOutcome {
             success: true,
@@ -136,7 +141,7 @@ where
         },
         Err(current) => {
             unsafe { dispose_version::<K, V, A>(new) };
-            stats.cas_failures.incr();
+            h.incr_cas_failures();
             // The version that beat us carries its creator's PropStatus;
             // that is the operation a delegating propagate waits on.
             let blocker = unsafe { Version::<K, V, A>::from_raw(current) }.status;
@@ -191,11 +196,11 @@ mod tests {
         // stale too, except where patches created fresh leaf versions.
         // A full propagate is exercised in propagate.rs tests; here we
         // check refresh_top's CAS mechanics only.
-        let r1 = refresh_top(tree.entry(), 0, &stats);
+        let r1 = refresh_top(tree.entry(), 0, &stats.local());
         assert!(r1.success);
         assert_ne!(r1.replaced, 0);
         unsafe { crate::version::retire_version::<u64, u64, SizeOnly>(&guard, r1.replaced) };
-        let r2 = refresh_top(tree.entry(), 0, &stats);
+        let r2 = refresh_top(tree.entry(), 0, &stats.local());
         assert!(r2.success, "uncontended refresh succeeds");
         unsafe { crate::version::retire_version::<u64, u64, SizeOnly>(&guard, r2.replaced) };
         drop(guard);
@@ -212,18 +217,13 @@ mod tests {
         // between: refresh A reads old, refresh B installs, A's CAS fails.
         let old = read_version(tree.entry(), &stats);
         let ps = crate::version::PropStatus::alloc() as u64;
-        let rb = refresh_top(tree.entry(), ps, &stats);
+        let rb = refresh_top(tree.entry(), ps, &stats.local());
         assert!(rb.success);
         unsafe { crate::version::retire_version::<u64, u64, SizeOnly>(&guard, rb.replaced) };
         // Now a stale CAS from `old` must fail and report `ps`.
-        let new = unsafe {
-            Version::<u64, u64, SizeOnly>::combine(
-                tree.entry().key(),
-                rb.vl,
-                rb.vr,
-                0,
-            )
-        } as u64;
+        let new =
+            unsafe { Version::<u64, u64, SizeOnly>::combine(tree.entry().key(), rb.vl, rb.vr, 0) }
+                as u64;
         match tree.entry().plugin.cas(old, new) {
             Ok(()) => panic!("stale CAS must fail"),
             Err(cur) => {
@@ -232,7 +232,7 @@ mod tests {
                 unsafe { dispose_version::<u64, u64, SizeOnly>(new) };
             }
         }
-        unsafe { drop(Box::from_raw(ps as *mut crate::version::PropStatus)) };
+        unsafe { crate::version::PropStatus::dispose(ps as *mut crate::version::PropStatus) };
         drop(guard);
         let _ = SentKey::Key(0u64); // silence unused import on some cfgs
     }

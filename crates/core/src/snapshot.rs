@@ -186,11 +186,7 @@ where
         if lo > hi {
             return A::sentinel();
         }
-        fn agg<K, V, A>(
-            v: &Version<K, V, A>,
-            lo: Option<&K>,
-            hi: Option<&K>,
-        ) -> A::Value
+        fn agg<K, V, A>(v: &Version<K, V, A>, lo: Option<&K>, hi: Option<&K>) -> A::Value
         where
             K: Ord + Clone + Send + Sync + 'static,
             V: Clone + Send + Sync + 'static,
@@ -234,12 +230,8 @@ where
     /// output) — the materializing variant of a range query.
     pub fn range_collect(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
         let mut out = Vec::new();
-        fn walk<K, V, A>(
-            v: &Version<K, V, A>,
-            lo: &K,
-            hi: &K,
-            out: &mut Vec<(K, V)>,
-        ) where
+        fn walk<K, V, A>(v: &Version<K, V, A>, lo: &K, hi: &K, out: &mut Vec<(K, V)>)
+        where
             K: Ord + Clone + Send + Sync + 'static,
             V: Clone + Send + Sync + 'static,
             A: Augmentation<K, V>,

@@ -2,51 +2,172 @@
 //! Improves Throughput"): nodes traversed per propagate, nil versions
 //! filled per propagate, CASes attempted per propagate, plus delegation
 //! counts for the ablation experiments.
+//!
+//! The counters are **striped**: each registered thread owns one
+//! cache-padded block of counters, indexed by the stable EBR thread id
+//! (`ebr::thread_id()`), and [`BatStats::snapshot`] sums the stripes
+//! lazily. A counter bump therefore touches only a line this core already
+//! owns — the seed's single shared `AtomicU64`s made every node visited
+//! by a propagate a cross-core cacheline ping-pong under multi-threaded
+//! update load. In baseline mode (see [`crate::hotpath`]) all threads are
+//! routed to stripe 0, deliberately restoring that contention for
+//! before/after measurement.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A relaxed counter (cache-padded would be nicer; relaxed add is cheap
-/// enough for the statistics runs, and the counters can be ignored by
-/// the throughput runs since they are always-on fixed cost).
+use ebr::CachePadded;
+
+/// One thread's counters, padded so adjacent stripes never share a line.
 #[derive(Default)]
-pub struct Counter(AtomicU64);
+struct Stripe {
+    propagates: AtomicU64,
+    nodes_visited: AtomicU64,
+    nil_fixes: AtomicU64,
+    cas_attempts: AtomicU64,
+    cas_failures: AtomicU64,
+    delegations: AtomicU64,
+    delegation_timeouts: AtomicU64,
+}
 
-impl Counter {
-    #[inline]
-    pub fn incr(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
+/// Counters for one augmented tree instance (striped per thread).
+pub struct BatStats {
+    stripes: Box<[CachePadded<Stripe>]>,
+}
 
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+impl Default for BatStats {
+    fn default() -> Self {
+        let stripes = (0..ebr::MAX_THREADS)
+            .map(|_| CachePadded::new(Stripe::default()))
+            .collect();
+        BatStats { stripes }
     }
 }
 
-/// Counters for one augmented tree instance.
-#[derive(Default)]
-pub struct BatStats {
-    /// Propagate invocations (== updates, successful or not).
-    pub propagates: Counter,
-    /// Nodes stepped through during propagate descents (the paper's
-    /// "nodes seen by a Propagate").
-    pub nodes_visited: Counter,
-    /// `RefreshNil` executions ("nil versions filled in").
-    pub nil_fixes: Counter,
-    /// Version-pointer CAS attempts.
-    pub cas_attempts: Counter,
-    /// Version-pointer CAS failures.
-    pub cas_failures: Counter,
-    /// Times a propagate delegated its remaining work (§5).
-    pub delegations: Counter,
-    /// Times a delegation wait timed out and the propagate resumed itself
-    /// (the lock-free fallback of Fig. 13 lines 19–21).
-    pub delegation_timeouts: Counter,
+macro_rules! incr_methods {
+    ($($(#[$doc:meta])* $incr:ident, $add:ident => $field:ident;)*) => {
+        $(
+            $(#[$doc])*
+            #[inline]
+            pub fn $incr(&self) {
+                self.stripe().$field.fetch_add(1, Ordering::Relaxed);
+            }
+
+            /// Batched variant of the matching increment.
+            #[inline]
+            pub fn $add(&self, n: u64) {
+                self.stripe().$field.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl BatStats {
+    /// The calling thread's stripe (stripe 0 for everyone in baseline
+    /// mode, to reproduce the pre-striping contention).
+    #[inline]
+    fn stripe(&self) -> &Stripe {
+        let id = if crate::hotpath::baseline() {
+            0
+        } else {
+            ebr::thread_id()
+        };
+        debug_assert!(id < self.stripes.len());
+        &self.stripes[id]
+    }
+
+    incr_methods! {
+        /// Count one propagate invocation (== one update, successful or not).
+        incr_propagates, add_propagates => propagates;
+        /// Count nodes stepped through during a propagate descent (the
+        /// paper's "nodes seen by a Propagate"); prefer the batched form
+        /// once per descent.
+        incr_nodes_visited, add_nodes_visited => nodes_visited;
+        /// Count one `RefreshNil` execution ("nil versions filled in").
+        incr_nil_fixes, add_nil_fixes => nil_fixes;
+        /// Count one version-pointer CAS attempt.
+        incr_cas_attempts, add_cas_attempts => cas_attempts;
+        /// Count one version-pointer CAS failure.
+        incr_cas_failures, add_cas_failures => cas_failures;
+        /// Count one delegation of a propagate's remaining work (§5).
+        incr_delegations, add_delegations => delegations;
+        /// Count one delegation-wait timeout (the lock-free fallback of
+        /// Fig. 13 lines 19–21).
+        incr_delegation_timeouts, add_delegation_timeouts => delegation_timeouts;
+    }
+
+    /// Borrow the calling thread's stripe as a [`StatsHandle`], hoisting
+    /// the thread-id lookup out of a hot section: `propagate` resolves its
+    /// stripe once per update instead of once per counter bump.
+    #[inline]
+    pub fn local(&self) -> StatsHandle<'_> {
+        StatsHandle {
+            stats: self,
+            stripe: self.stripe(),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Copy out current values, summed over all thread stripes.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot::default();
+        for stripe in self.stripes.iter() {
+            snap.propagates += stripe.propagates.load(Ordering::Relaxed);
+            snap.nodes_visited += stripe.nodes_visited.load(Ordering::Relaxed);
+            snap.nil_fixes += stripe.nil_fixes.load(Ordering::Relaxed);
+            snap.cas_attempts += stripe.cas_attempts.load(Ordering::Relaxed);
+            snap.cas_failures += stripe.cas_failures.load(Ordering::Relaxed);
+            snap.delegations += stripe.delegations.load(Ordering::Relaxed);
+            snap.delegation_timeouts += stripe.delegation_timeouts.load(Ordering::Relaxed);
+        }
+        snap
+    }
+}
+
+/// A borrow of one thread's counter stripe (see [`BatStats::local`]).
+/// Bumps through a handle skip the per-call stripe resolution. `!Send` /
+/// `!Sync` (via the marker field): a handle crossing threads would
+/// silently attribute counters to the wrong stripe.
+pub struct StatsHandle<'a> {
+    stats: &'a BatStats,
+    stripe: &'a Stripe,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+macro_rules! handle_incr_methods {
+    ($($incr:ident, $add:ident => $field:ident;)*) => {
+        $(
+            /// See the like-named method on [`BatStats`].
+            #[inline]
+            pub fn $incr(&self) {
+                self.stripe.$field.fetch_add(1, Ordering::Relaxed);
+            }
+
+            /// Batched variant of the matching increment.
+            #[inline]
+            pub fn $add(&self, n: u64) {
+                self.stripe.$field.fetch_add(n, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl<'a> StatsHandle<'a> {
+    /// The stats instance this handle belongs to (for the cold paths that
+    /// still take `&BatStats`, like recursive nil refreshes).
+    #[inline]
+    pub fn stats(&self) -> &'a BatStats {
+        self.stats
+    }
+
+    handle_incr_methods! {
+        incr_propagates, add_propagates => propagates;
+        incr_nodes_visited, add_nodes_visited => nodes_visited;
+        incr_nil_fixes, add_nil_fixes => nil_fixes;
+        incr_cas_attempts, add_cas_attempts => cas_attempts;
+        incr_cas_failures, add_cas_failures => cas_failures;
+        incr_delegations, add_delegations => delegations;
+        incr_delegation_timeouts, add_delegation_timeouts => delegation_timeouts;
+    }
 }
 
 /// A plain-data snapshot of [`BatStats`], for printing.
@@ -59,21 +180,6 @@ pub struct StatsSnapshot {
     pub cas_failures: u64,
     pub delegations: u64,
     pub delegation_timeouts: u64,
-}
-
-impl BatStats {
-    /// Copy out current values.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            propagates: self.propagates.get(),
-            nodes_visited: self.nodes_visited.get(),
-            nil_fixes: self.nil_fixes.get(),
-            cas_attempts: self.cas_attempts.get(),
-            cas_failures: self.cas_failures.get(),
-            delegations: self.delegations.get(),
-            delegation_timeouts: self.delegation_timeouts.get(),
-        }
-    }
 }
 
 impl StatsSnapshot {
@@ -113,9 +219,9 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = BatStats::default();
-        s.propagates.incr();
-        s.propagates.incr();
-        s.nodes_visited.add(10);
+        s.incr_propagates();
+        s.incr_propagates();
+        s.add_nodes_visited(10);
         let snap = s.snapshot();
         assert_eq!(snap.propagates, 2);
         assert_eq!(snap.nodes_visited, 10);
@@ -125,10 +231,33 @@ mod tests {
     #[test]
     fn delta_subtracts() {
         let s = BatStats::default();
-        s.cas_attempts.add(5);
+        s.add_cas_attempts(5);
         let a = s.snapshot();
-        s.cas_attempts.add(7);
+        s.add_cas_attempts(7);
         let b = s.snapshot();
         assert_eq!(b.delta(&a).cas_attempts, 7);
+    }
+
+    #[test]
+    fn snapshot_sums_across_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(BatStats::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.incr_propagates();
+                    }
+                    s.add_nodes_visited(50);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.propagates, 4000);
+        assert_eq!(snap.nodes_visited, 200);
     }
 }

@@ -35,9 +35,27 @@ impl PropStatus {
         }
     }
 
-    /// Allocate a fresh status for a starting propagate.
+    /// Allocate a fresh status for a starting propagate, recycling memory
+    /// from the EBR free-list pool when available.
     pub fn alloc() -> *mut PropStatus {
-        Box::into_raw(Box::new(PropStatus::new()))
+        ebr::pool::alloc_pooled(PropStatus::new())
+    }
+
+    /// Retire a status allocated with [`PropStatus::alloc`]; its memory
+    /// returns to the pool after the grace period.
+    ///
+    /// # Safety
+    /// As for [`ebr::pool::retire_pooled`].
+    pub unsafe fn retire(guard: &ebr::Guard, ptr: *mut PropStatus) {
+        unsafe { ebr::pool::retire_pooled(guard, ptr) };
+    }
+
+    /// Immediately free a status that was never shared.
+    ///
+    /// # Safety
+    /// As for [`ebr::pool::dispose_pooled`].
+    pub unsafe fn dispose(ptr: *mut PropStatus) {
+        unsafe { ebr::pool::dispose_pooled(ptr) };
     }
 }
 
@@ -61,7 +79,7 @@ pub struct Version<K, V, A: Augmentation<K, V>> {
     /// Leaf payload (real leaves only), so snapshots can answer `get`.
     pub value: Option<V>,
     /// Child versions (null for leaves).
-    pub left: u64,  // *const Version
+    pub left: u64, // *const Version
     pub right: u64, // *const Version
     /// The PropStatus of the propagate that installed this version (null
     /// for versions made by recursive nil-refreshes or plain propagates).
@@ -76,7 +94,7 @@ where
 {
     /// Version for a real leaf (Definition 1, rule 1): size 1.
     pub fn for_leaf(key: &K, value: &V) -> *mut Self {
-        Box::into_raw(Box::new(Version {
+        ebr::pool::alloc_pooled(Version {
             key: SentKey::Key(key.clone()),
             size: 1,
             aug: A::leaf(key, value),
@@ -84,12 +102,12 @@ where
             left: 0,
             right: 0,
             status: 0,
-        }))
+        })
     }
 
     /// Version for a sentinel leaf (Definition 1, rule 2): size 0.
     pub fn for_sentinel(key: &SentKey<K>) -> *mut Self {
-        Box::into_raw(Box::new(Version {
+        ebr::pool::alloc_pooled(Version {
             key: key.clone(),
             size: 0,
             aug: A::sentinel(),
@@ -97,7 +115,7 @@ where
             left: 0,
             right: 0,
             status: 0,
-        }))
+        })
     }
 
     /// Version for an internal node, combining two child versions
@@ -108,7 +126,7 @@ where
     pub unsafe fn combine(key: &SentKey<K>, vl: u64, vr: u64, status: u64) -> *mut Self {
         let l = unsafe { &*(vl as *const Self) };
         let r = unsafe { &*(vr as *const Self) };
-        Box::into_raw(Box::new(Version {
+        ebr::pool::alloc_pooled(Version {
             key: key.clone(),
             size: l.size + r.size,
             aug: A::combine(&l.aug, &r.aug),
@@ -116,7 +134,7 @@ where
             left: vl,
             right: vr,
             status,
-        }))
+        })
     }
 
     /// True for leaf versions.
@@ -170,7 +188,6 @@ impl<K, V, A: Augmentation<K, V>> VersionSlot<K, V, A> {
         self.version
             .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
             .map(|_| ())
-            .map_err(|cur| cur)
     }
 }
 
@@ -206,12 +223,13 @@ where
         // it is retired right before the node's memory goes away.
         let v = self.version.load(Ordering::Acquire);
         if v != 0 {
-            unsafe { ebr::retire_unpinned(v as *mut Version<K, V, A>) };
+            unsafe { ebr::pool::retire_pooled_unpinned(v as *mut Version<K, V, A>) };
         }
     }
 }
 
-/// Retire a replaced version (top-level refresh old value, §6).
+/// Retire a replaced version (top-level refresh old value, §6). Its memory
+/// returns to the EBR free-list pool after the grace period.
 ///
 /// # Safety
 /// `raw` must be a version unreachable from every node's version pointer
@@ -222,10 +240,11 @@ where
     V: Clone + Send + Sync + 'static,
     A: Augmentation<K, V>,
 {
-    unsafe { guard.retire(raw as *mut Version<K, V, A>) };
+    unsafe { ebr::pool::retire_pooled(guard, raw as *mut Version<K, V, A>) };
 }
 
-/// Drop a version that was never published (failed refresh CAS).
+/// Drop a version that was never published (failed refresh CAS), returning
+/// its memory straight to the pool with no grace period.
 ///
 /// # Safety
 /// `raw` must have been created by this thread and never installed.
@@ -235,7 +254,7 @@ where
     V: Clone + Send + Sync + 'static,
     A: Augmentation<K, V>,
 {
-    drop(unsafe { Box::from_raw(raw as *mut Version<K, V, A>) });
+    unsafe { ebr::pool::dispose_pooled(raw as *mut Version<K, V, A>) };
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@ where
     let right = leaves[..leaves.len() - 1]
         .iter()
         .rev()
-        .fold(leaves[leaves.len() - 1].clone(), |acc, x| A::combine(x, &acc));
+        .fold(leaves[leaves.len() - 1].clone(), |acc, x| {
+            A::combine(x, &acc)
+        });
     assert_eq!(left, right, "associativity violated");
     // Identity on both sides.
     let id = A::sentinel();

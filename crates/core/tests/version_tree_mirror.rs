@@ -12,11 +12,7 @@ type V = Version<u64, u64, SizeOnly>;
 /// Walk node- and version-trees together; check key equality and the
 /// size invariant `size = left.size + right.size`; return leaf count.
 fn check_mirror(node: &N, version: &V) -> u64 {
-    assert_eq!(
-        node.key(),
-        &version.key,
-        "node/version key mismatch"
-    );
+    assert_eq!(node.key(), &version.key, "node/version key mismatch");
     if node.is_leaf() {
         assert!(version.is_leaf(), "leaf node with internal version");
         let expect = if node.key().as_key().is_some() { 1 } else { 0 };

@@ -32,7 +32,10 @@ use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crossbeam::utils::CachePadded;
+mod pad;
+pub mod pool;
+
+pub use pad::CachePadded;
 
 /// Maximum number of concurrently registered threads.
 ///
@@ -127,11 +130,20 @@ struct Bag {
     items: Vec<Retired>,
 }
 
+/// Maximum emptied bag vectors cached for reuse per thread.
+const SPARE_BAG_CAP: usize = 8;
+
 struct Local {
     id: usize,
     pin_depth: Cell<usize>,
     /// Bags in arbitrary order; drained when their epoch is old enough.
     bags: RefCell<Vec<Bag>>,
+    /// Emptied bag item-vectors kept with their capacity, so steady-state
+    /// retiring never re-allocates bag storage.
+    spare_bags: RefCell<Vec<Vec<Retired>>>,
+    /// Reused buffer for [`collect`]'s drain phase (taken/replaced so a
+    /// reentrant collect sees an empty buffer instead of a borrow panic).
+    drain_scratch: RefCell<Vec<Bag>>,
     since_collect: Cell<usize>,
 }
 
@@ -158,8 +170,13 @@ impl Drop for UnregisterOnDrop {
                         }
                     }
                 }
-                g.slots[local.id].announce.store(QUIESCENT, Ordering::SeqCst);
+                g.slots[local.id]
+                    .announce
+                    .store(QUIESCENT, Ordering::SeqCst);
                 g.slots[local.id].registered.store(0, Ordering::SeqCst);
+                // The slot may be re-registered by another thread; make
+                // sure any late call on *this* thread re-resolves.
+                let _ = CACHED_ID.try_with(|c| c.set(usize::MAX));
             }
         });
     }
@@ -194,6 +211,8 @@ fn register() -> Local {
                 id,
                 pin_depth: Cell::new(0),
                 bags: RefCell::new(Vec::new()),
+                spare_bags: RefCell::new(Vec::new()),
+                drain_scratch: RefCell::new(Vec::new()),
                 since_collect: Cell::new(0),
             };
         }
@@ -201,12 +220,39 @@ fn register() -> Local {
     panic!("ebr: more than {MAX_THREADS} concurrent threads");
 }
 
+thread_local! {
+    /// Cached copy of the slot id, so hot paths (striped statistics index
+    /// on every counter bump) skip the `RefCell` in [`with_local`].
+    /// `usize::MAX` = not yet registered; reset by [`UnregisterOnDrop`].
+    static CACHED_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
 /// The stable id of the calling thread within the EBR thread table.
 ///
-/// Other crates (notably `llxscx`) index their own per-thread tables with
-/// this id, so a single registration discipline covers the whole workspace.
+/// Other crates (notably `llxscx` and the striped statistics in
+/// `cbat-core`) index their own per-thread tables with this id, so a
+/// single registration discipline covers the whole workspace. After the
+/// first call on a thread this is a single thread-local `Cell` read.
+#[inline]
 pub fn thread_id() -> usize {
-    with_local(|l| l.id)
+    CACHED_ID.with(|c| {
+        let id = c.get();
+        if id != usize::MAX {
+            return id;
+        }
+        let id = with_local(|l| l.id);
+        c.set(id);
+        id
+    })
+}
+
+/// Number of hardware threads available to this process, falling back to
+/// 1 when the OS cannot say. The workspace's single source of truth for
+/// "how many workers should I spawn".
+pub fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// An RAII guard keeping the current thread pinned to an epoch.
@@ -298,6 +344,16 @@ pub unsafe fn retire_unpinned<T: Send>(ptr: *mut T) {
     });
 }
 
+/// [`retire_unpinned`] with a caller-supplied reclamation function (the
+/// unpinned counterpart of [`Guard::retire_with`]; used by [`pool`]).
+///
+/// # Safety
+/// As for [`retire_unpinned`]; additionally `free(ptr)` must be sound on
+/// any thread.
+pub unsafe fn retire_unpinned_with(ptr: *mut u8, free: unsafe fn(*mut u8)) {
+    retire_impl(Retired { ptr, free });
+}
+
 fn retire_impl(item: Retired) {
     let g = global();
     g.retired_count.fetch_add(1, Ordering::Relaxed);
@@ -307,10 +363,13 @@ fn retire_impl(item: Retired) {
             let mut bags = local.bags.borrow_mut();
             match bags.iter_mut().find(|b| b.epoch == epoch) {
                 Some(bag) => bag.items.push(item),
-                None => bags.push(Bag {
-                    epoch,
-                    items: vec![item],
-                }),
+                None => {
+                    // Reuse an emptied bag vector (with its capacity) so
+                    // steady-state retiring does not touch the allocator.
+                    let mut items = local.spare_bags.borrow_mut().pop().unwrap_or_default();
+                    items.push(item);
+                    bags.push(Bag { epoch, items });
+                }
             }
         }
         let n = local.since_collect.get() + 1;
@@ -335,10 +394,12 @@ pub fn collect() {
     let epoch = g.try_advance();
 
     // Drain ready local bags. Take them out of the RefCell *before* running
-    // destructors so that retire-from-reclaim can re-borrow.
-    let ready: Vec<Bag> = with_local(|local| {
+    // destructors so that retire-from-reclaim can re-borrow. The drain
+    // buffer is reused across calls; a reentrant collect (retire-from-
+    // reclaim crossing the threshold) takes a fresh empty one.
+    let mut ready: Vec<Bag> = with_local(|local| {
+        let mut ready = local.drain_scratch.take();
         let mut bags = local.bags.borrow_mut();
-        let mut ready = Vec::new();
         bags.retain_mut(|bag| {
             if bag.epoch + 2 <= epoch {
                 ready.push(Bag {
@@ -353,12 +414,23 @@ pub fn collect() {
         ready
     });
     let mut freed = 0usize;
-    for bag in ready {
+    for bag in &mut ready {
         freed += bag.items.len();
-        for item in bag.items {
+        for item in bag.items.drain(..) {
             unsafe { (item.free)(item.ptr) };
         }
     }
+    // Recycle the emptied bag vectors and hand the drain buffer back.
+    with_local(|local| {
+        let mut spare = local.spare_bags.borrow_mut();
+        for bag in ready.drain(..) {
+            if spare.len() < SPARE_BAG_CAP && bag.items.capacity() > 0 {
+                spare.push(bag.items);
+            }
+        }
+        drop(spare);
+        *local.drain_scratch.borrow_mut() = ready;
+    });
 
     // Opportunistically drain ready orphans.
     let mut orphan_items: Vec<Retired> = Vec::new();
@@ -511,14 +583,14 @@ mod tests {
         for _ in 0..6 {
             flush();
         }
-        assert!(DROPS.load(Ordering::SeqCst) >= before + 1);
+        assert!(DROPS.load(Ordering::SeqCst) > before);
     }
 
     #[test]
     fn thread_ids_are_stable_and_reused() {
         let id1 = thread_id();
         assert_eq!(id1, thread_id());
-        let handle = std::thread::spawn(|| thread_id());
+        let handle = std::thread::spawn(thread_id);
         let other = handle.join().unwrap();
         assert_ne!(id1, other);
         // After the thread exits its slot becomes reusable; spawning many

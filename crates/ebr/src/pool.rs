@@ -1,0 +1,327 @@
+//! EBR-integrated thread-local object pooling.
+//!
+//! The propagate hot path of the BAT tree allocates one `Version` per
+//! refreshed node and (for the delegation variants) one `PropStatus` per
+//! update, and retires the objects it replaces through EBR. Round-tripping
+//! each of those through the global allocator costs a malloc/free pair per
+//! object *and* serializes hot threads on the allocator's shared state.
+//!
+//! This module short-circuits the round trip: when EBR finishes the grace
+//! period for a pooled object it runs the object's destructor but keeps the
+//! raw memory on a **thread-local free list** keyed by `(size, align)`.
+//! The next [`alloc_pooled`] of any same-layout type pops the list instead
+//! of calling `malloc`. In steady state (a warmed-up tree under a
+//! stationary workload) the hot path touches the global allocator zero
+//! times — see `crates/core/tests/zero_alloc_hot_path.rs` for the
+//! counting-allocator proof.
+//!
+//! Layout-keyed (rather than type-keyed) classing means a `Version<K, V, A>`
+//! retired by one tree can be recycled as a `PropStatus` or as a version of
+//! a different map — the pool never fragments across generic instantiations
+//! that share a layout.
+//!
+//! Memory returned on a *different* thread than the one that allocated it
+//! lands on the freeing thread's list (free lists are strictly
+//! thread-local; no cross-thread synchronization). Lists are capped at
+//! [`MAX_PER_CLASS`] blocks; overflow and thread exit fall back to the
+//! global allocator, so the pool can never hold more than a bounded amount
+//! of memory per thread.
+//!
+//! [`set_enabled`] exists for the before/after benchmark
+//! (`bench_pr1`): with pooling disabled every call degrades to plain
+//! `malloc`/`free`, reproducing the seed's allocation behavior in the same
+//! binary. Blocks allocated in one mode may be freed in the other; both
+//! modes use the global allocator with the same layout, so this is sound.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::Guard;
+
+/// Maximum recycled blocks kept per `(size, align)` class per thread.
+const MAX_PER_CLASS: usize = 4096;
+
+/// Maximum distinct `(size, align)` classes tracked per thread. A real
+/// process pools a handful of types (versions, statuses); beyond the cap,
+/// new layouts simply bypass the pool.
+const MAX_CLASSES: usize = 32;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable pooling (enabled by default). Disabling does
+/// not flush existing free lists; it only routes new traffic to the global
+/// allocator. Used by the before/after benchmarks.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether pooling is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Calling thread's pool counters since thread start: `(hits, misses,
+/// recycled)`. A *hit* served an allocation from the free list, a *miss*
+/// fell through to `malloc`, a *recycle* returned a block to the list.
+pub fn local_stats() -> (u64, u64, u64) {
+    POOLS
+        .try_with(|p| (p.hits.get(), p.misses.get(), p.recycled.get()))
+        .unwrap_or((0, 0, 0))
+}
+
+/// One layout class's free list. The class table is a linear-scan vector,
+/// not a hash map: the hot path does one lookup per alloc *and* per free,
+/// and with the handful of classes a process actually pools, scanning a
+/// few `(size, align)` pairs is several times cheaper than hashing.
+struct Class {
+    size: usize,
+    align: usize,
+    free: Vec<*mut u8>,
+}
+
+struct Pools {
+    classes: RefCell<Vec<Class>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    recycled: Cell<u64>,
+}
+
+impl Drop for Pools {
+    fn drop(&mut self) {
+        for class in self.classes.get_mut().drain(..) {
+            let layout =
+                Layout::from_size_align(class.size, class.align).expect("pooled layout is valid");
+            for p in class.free {
+                unsafe { dealloc(p, layout) };
+            }
+        }
+    }
+}
+
+thread_local! {
+    static POOLS: Pools = const { Pools {
+        classes: RefCell::new(Vec::new()),
+        hits: Cell::new(0),
+        misses: Cell::new(0),
+        recycled: Cell::new(0),
+    } };
+}
+
+unsafe fn raw_alloc(layout: Layout) -> *mut u8 {
+    let p = unsafe { alloc(layout) };
+    if p.is_null() {
+        handle_alloc_error(layout);
+    }
+    p
+}
+
+/// Obtain memory for `layout`, preferring the thread-local free list.
+fn acquire_memory(layout: Layout) -> *mut u8 {
+    if enabled() {
+        let pooled = POOLS
+            .try_with(|pools| {
+                // `try_borrow_mut` guards against re-entry from a
+                // destructor running inside `release_memory`.
+                let mut classes = match pools.classes.try_borrow_mut() {
+                    Ok(c) => c,
+                    Err(_) => return None,
+                };
+                let hit = classes
+                    .iter_mut()
+                    .find(|c| c.size == layout.size() && c.align == layout.align())
+                    .and_then(|c| c.free.pop());
+                match hit {
+                    Some(p) => {
+                        pools.hits.set(pools.hits.get() + 1);
+                        Some(p)
+                    }
+                    None => {
+                        pools.misses.set(pools.misses.get() + 1);
+                        None
+                    }
+                }
+            })
+            .ok()
+            .flatten();
+        if let Some(p) = pooled {
+            return p;
+        }
+    }
+    unsafe { raw_alloc(layout) }
+}
+
+/// Return a dead block to the calling thread's free list (or the global
+/// allocator if the pool is full, disabled, or mid-teardown).
+fn release_memory(p: *mut u8, layout: Layout) {
+    if enabled() {
+        let kept = POOLS
+            .try_with(|pools| {
+                let mut classes = match pools.classes.try_borrow_mut() {
+                    Ok(c) => c,
+                    Err(_) => return false,
+                };
+                let class = match classes
+                    .iter_mut()
+                    .position(|c| c.size == layout.size() && c.align == layout.align())
+                {
+                    Some(i) => &mut classes[i],
+                    None if classes.len() < MAX_CLASSES => {
+                        classes.push(Class {
+                            size: layout.size(),
+                            align: layout.align(),
+                            free: Vec::new(),
+                        });
+                        classes.last_mut().expect("just pushed")
+                    }
+                    None => return false,
+                };
+                if class.free.len() < MAX_PER_CLASS {
+                    class.free.push(p);
+                    pools.recycled.set(pools.recycled.get() + 1);
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap_or(false);
+        if kept {
+            return;
+        }
+    }
+    unsafe { dealloc(p, layout) };
+}
+
+/// Allocate a `T` from the pool (or the global allocator on a miss) and
+/// move `value` into it. The returned pointer is owned by the caller and
+/// must eventually be passed to exactly one of [`retire_pooled`],
+/// [`retire_pooled_unpinned`] or [`dispose_pooled`] — never `Box::from_raw`
+/// (the memory may be recycled, not freshly malloc'd).
+pub fn alloc_pooled<T>(value: T) -> *mut T {
+    let layout = Layout::new::<T>();
+    let raw = if layout.size() == 0 {
+        std::ptr::NonNull::<T>::dangling().as_ptr() as *mut u8
+    } else {
+        acquire_memory(layout)
+    };
+    let ptr = raw as *mut T;
+    unsafe { ptr.write(value) };
+    ptr
+}
+
+unsafe fn drop_and_release<T>(p: *mut u8) {
+    let layout = Layout::new::<T>();
+    unsafe { std::ptr::drop_in_place(p as *mut T) };
+    if layout.size() != 0 {
+        release_memory(p, layout);
+    }
+}
+
+/// Retire a pool-allocated object through EBR: after the grace period its
+/// destructor runs and the memory goes back to the *reclaiming* thread's
+/// free list.
+///
+/// # Safety
+/// As for [`Guard::retire`], and `ptr` must come from [`alloc_pooled`].
+pub unsafe fn retire_pooled<T: Send>(guard: &Guard, ptr: *mut T) {
+    unsafe { guard.retire_with(ptr as *mut u8, drop_and_release::<T>) };
+}
+
+/// [`retire_pooled`] without a guard — for reclamation callbacks, mirroring
+/// [`crate::retire_unpinned`].
+///
+/// # Safety
+/// As for [`crate::retire_unpinned`], and `ptr` must come from
+/// [`alloc_pooled`].
+pub unsafe fn retire_pooled_unpinned<T: Send>(ptr: *mut T) {
+    unsafe { crate::retire_unpinned_with(ptr as *mut u8, drop_and_release::<T>) };
+}
+
+/// Immediately destroy a pool-allocated object that was **never published**
+/// to other threads (e.g. a version whose install CAS lost), returning its
+/// memory to the pool with no grace period.
+///
+/// # Safety
+/// `ptr` must come from [`alloc_pooled`], be unreachable by any other
+/// thread, and not be used afterwards.
+pub unsafe fn dispose_pooled<T>(ptr: *mut T) {
+    unsafe { drop_and_release::<T>(ptr as *mut u8) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_reuses_released_memory() {
+        // Addresses may legitimately differ if other tests interleave on
+        // this thread, so assert via the hit counter instead.
+        let a = alloc_pooled(41u128);
+        unsafe { dispose_pooled(a) };
+        let (h0, _, _) = local_stats();
+        let b = alloc_pooled(42u128);
+        let (h1, _, _) = local_stats();
+        assert_eq!(h1, h0 + 1, "second alloc must be served from the pool");
+        assert_eq!(unsafe { *b }, 42);
+        unsafe { dispose_pooled(b) };
+    }
+
+    #[test]
+    fn layout_classes_are_shared_across_types() {
+        #[repr(align(8))]
+        struct A(#[allow(dead_code)] [u64; 3]);
+        #[repr(align(8))]
+        struct B(
+            #[allow(dead_code)] u64,
+            #[allow(dead_code)] u64,
+            #[allow(dead_code)] u64,
+        );
+        assert_eq!(Layout::new::<A>(), Layout::new::<B>());
+        let a = alloc_pooled(A([1, 2, 3]));
+        unsafe { dispose_pooled(a) };
+        let (h0, _, _) = local_stats();
+        let b = alloc_pooled(B(4, 5, 6));
+        let (h1, _, _) = local_stats();
+        assert_eq!(h1, h0 + 1);
+        unsafe { dispose_pooled(b) };
+    }
+
+    #[test]
+    fn retired_objects_run_destructors_then_recycle() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] u64);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let before = DROPS.load(Ordering::SeqCst);
+        {
+            let guard = crate::pin();
+            for i in 0..32 {
+                let p = alloc_pooled(D(i));
+                unsafe { retire_pooled(&guard, p) };
+            }
+        }
+        crate::flush();
+        crate::flush();
+        assert!(DROPS.load(Ordering::SeqCst) >= before + 32);
+    }
+
+    #[test]
+    fn disabled_pool_falls_back_to_malloc() {
+        set_enabled(false);
+        let p = alloc_pooled(7u16);
+        assert_eq!(unsafe { *p }, 7);
+        unsafe { dispose_pooled(p) };
+        set_enabled(true);
+    }
+
+    #[test]
+    fn zero_sized_types_are_supported() {
+        struct Z;
+        let p = alloc_pooled(Z);
+        unsafe { dispose_pooled(p) };
+    }
+}

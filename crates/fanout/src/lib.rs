@@ -147,11 +147,7 @@ impl FanoutSet {
                     } else {
                         let right = new.split_off(new.len() / 2);
                         let sep = right[0];
-                        Updated::Split(
-                            BNode::Leaf(new).alloc(),
-                            sep,
-                            BNode::Leaf(right).alloc(),
-                        )
+                        Updated::Split(BNode::Leaf(new).alloc(), sep, BNode::Leaf(right).alloc())
                     }
                 }
             },
@@ -342,8 +338,8 @@ impl FanoutSnapshot {
                 BNode::Internal { seps, children } => {
                     let first = seps.partition_point(|s| *s <= lo);
                     let last = seps.partition_point(|s| *s <= hi);
-                    for i in first..=last {
-                        rec(children[i], lo, hi, out);
+                    for &child in &children[first..=last] {
+                        rec(child, lo, hi, out);
                     }
                 }
             }

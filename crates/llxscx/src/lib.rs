@@ -39,7 +39,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-use crossbeam::utils::CachePadded;
+use ebr::CachePadded;
 
 /// Maximum records an SCX can freeze. The chromatic tree needs at most 5
 /// (grandparent, parent, node, sibling, nephew).
@@ -368,8 +368,7 @@ fn help(tid: usize, seq: u64) {
                 if word_frozen(w) {
                     break 'freeze; // someone saw all frozen; commit path
                 }
-                if d
-                    .status
+                if d.status
                     .compare_exchange(
                         w,
                         word(seq, false, STATE_ABORTED),
@@ -399,9 +398,9 @@ fn help(tid: usize, seq: u64) {
     }
 
     // Mark (finalize) the records in R. Idempotent & monotone.
-    for i in 0..num_v.min(MAX_V) {
+    for (i, rec) in recs.iter().enumerate().take(num_v.min(MAX_V)) {
         if fmask & (1 << i) != 0 {
-            unsafe { &*recs[i] }.marked.store(true, Ordering::Release);
+            unsafe { &**rec }.marked.store(true, Ordering::Release);
         }
     }
 

@@ -118,15 +118,13 @@ fn finalize_races_are_exclusive() {
                         if victim.header.is_finalized() {
                             return;
                         }
-                        let (ia, sa) =
-                            match llx(&a.header, || a.value.load(Ordering::Acquire)) {
-                                Llx::Ok { info, snapshot } => (info, snapshot),
-                                Llx::Finalized => return,
-                                Llx::Fail => continue,
-                            };
-                        let iv = match llx(&victim.header, || {
-                            victim.value.load(Ordering::Acquire)
-                        }) {
+                        let (ia, sa) = match llx(&a.header, || a.value.load(Ordering::Acquire)) {
+                            Llx::Ok { info, snapshot } => (info, snapshot),
+                            Llx::Finalized => return,
+                            Llx::Fail => continue,
+                        };
+                        let iv = match llx(&victim.header, || victim.value.load(Ordering::Acquire))
+                        {
                             Llx::Ok { info, .. } => info,
                             Llx::Finalized => return,
                             Llx::Fail => continue,

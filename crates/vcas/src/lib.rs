@@ -135,9 +135,8 @@ impl VcasSet {
             return t;
         }
         let now = self.clock.load(Ordering::SeqCst);
-        let _ = v
-            .ts
-            .compare_exchange(0, now, Ordering::SeqCst, Ordering::SeqCst);
+        let _ =
+            v.ts.compare_exchange(0, now, Ordering::SeqCst, Ordering::SeqCst);
         v.ts.load(Ordering::Acquire)
     }
 
@@ -193,7 +192,10 @@ impl VcasSet {
     /// LLX a node, snapshotting its two version heads.
     fn llx_node(n: &Node) -> Llx<(u64, u64)> {
         llxscx::llx(&n.header, || {
-            (n.left.load(Ordering::Acquire), n.right.load(Ordering::Acquire))
+            (
+                n.left.load(Ordering::Acquire),
+                n.right.load(Ordering::Acquire),
+            )
         })
     }
 

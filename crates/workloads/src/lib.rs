@@ -181,20 +181,29 @@ impl RunResult {
 /// insertion would degenerate FR-BST/VcasBST into spines before the
 /// measured phase even starts, which is not the paper's prefilled state).
 pub fn prefill(set: &dyn BenchSet, max_key: u64, seed: u64) {
-    use rayon::prelude::*;
     let width = 64 - (max_key - 1).max(1).leading_zeros();
     let span = 1u64 << width;
     const CHUNK: u64 = 1 << 14;
-    let chunks: Vec<u64> = (0..span.div_ceil(CHUNK)).collect();
-    chunks.par_iter().for_each(|&c| {
-        let mut rng = Xorshift::new(seed ^ (c.wrapping_mul(0x2545F4914F6CDD1D)));
-        let lo = c * CHUNK;
-        let hi = (lo + CHUNK).min(span);
-        for i in lo..hi {
-            let k = i.reverse_bits() >> (64 - width);
-            if k < max_key && rng.next_u64() & 1 == 0 {
-                set.insert(k);
-            }
+    let n_chunks = span.div_ceil(CHUNK);
+    let workers = (ebr::cores() as u64).min(n_chunks);
+    let next_chunk = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let mut rng = Xorshift::new(seed ^ (c.wrapping_mul(0x2545F4914F6CDD1D)));
+                let lo = c * CHUNK;
+                let hi = (lo + CHUNK).min(span);
+                for i in lo..hi {
+                    let k = i.reverse_bits() >> (64 - width);
+                    if k < max_key && rng.next_u64() & 1 == 0 {
+                        set.insert(k);
+                    }
+                }
+            });
         }
     });
 }
@@ -206,7 +215,7 @@ const LAT_SHIFT: u32 = 6;
 pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
     assert!(cfg.mix.total() == MIX_TOTAL, "op mix must sum to 100%");
     if cfg.prefill {
-        prefill(set, cfg.max_key, cfg.seed ^ 0x5EED_F17u64);
+        prefill(set, cfg.max_key, cfg.seed ^ 0x05EE_DF17_u64);
     }
 
     let stop = AtomicBool::new(false);
@@ -224,9 +233,7 @@ pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
             let stop = &stop;
             let sorted_counter = &sorted_counter;
             let zipf = zipf.as_ref();
-            handles.push(scope.spawn(move || {
-                worker(set, cfg, t, stop, sorted_counter, zipf)
-            }));
+            handles.push(scope.spawn(move || worker(set, cfg, t, stop, sorted_counter, zipf)));
         }
         std::thread::sleep(cfg.duration);
         stop.store(true, Ordering::SeqCst);
@@ -340,8 +347,16 @@ fn worker(
         out.ops[kind] += 1;
         out.total_ops += 1;
     }
-    out.update_latency_ns = if upd_n > 0 { upd_ns as f64 / upd_n as f64 } else { 0.0 };
-    out.query_latency_ns = if q_n > 0 { q_ns as f64 / q_n as f64 } else { 0.0 };
+    out.update_latency_ns = if upd_n > 0 {
+        upd_ns as f64 / upd_n as f64
+    } else {
+        0.0
+    };
+    out.query_latency_ns = if q_n > 0 {
+        q_ns as f64 / q_n as f64
+    } else {
+        0.0
+    };
     out
 }
 

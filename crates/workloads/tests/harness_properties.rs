@@ -2,6 +2,8 @@
 //! must produce in-range keys, mixes must respect their shares, and the
 //! Zipf generator must be monotone in skew.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use workloads::{scramble, Xorshift, Zipf};

@@ -13,8 +13,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cbat::BatSet;
 use cbat::workloads::Xorshift;
+use cbat::BatSet;
 
 /// Encode (latency_us, sequence) so duplicate latencies collide never.
 fn sample_key(latency_us: u64, seq: u64) -> u64 {

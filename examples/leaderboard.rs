@@ -16,8 +16,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use cbat::BatSet;
 use cbat::workloads::Xorshift;
+use cbat::BatSet;
 
 const PLAYERS: u64 = 20_000;
 const ID_BITS: u64 = 20;
@@ -36,8 +36,11 @@ fn score_of(key: u64) -> u64 {
 
 fn main() {
     let board = Arc::new(BatSet::<u64>::new());
-    let scores: Arc<Vec<std::sync::atomic::AtomicU64>> =
-        Arc::new((0..PLAYERS).map(|_| std::sync::atomic::AtomicU64::new(0)).collect());
+    let scores: Arc<Vec<std::sync::atomic::AtomicU64>> = Arc::new(
+        (0..PLAYERS)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect(),
+    );
 
     // Seed every player with an initial score.
     let mut rng = Xorshift::new(2026);
@@ -61,7 +64,11 @@ fn main() {
             let mut rng = Xorshift::new(7 + t);
             let per = PLAYERS / WRITERS;
             let base = t * per;
-            let span = if t == WRITERS - 1 { PLAYERS - base } else { per };
+            let span = if t == WRITERS - 1 {
+                PLAYERS - base
+            } else {
+                per
+            };
             let mut updates = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let p = base + rng.below(span);
@@ -97,10 +104,7 @@ fn main() {
         let p = 1234u64;
         let s = scores[p as usize].load(Ordering::Relaxed);
         let r = snap.rank(&key(s, p));
-        println!(
-            "  player {p} (score {s}) is ranked {} of {n}",
-            n - r + 1
-        );
+        println!("  player {p} (score {s}) is ranked {} of {n}", n - r + 1);
         // Percentile bucket sizes via range_count: how many players score
         // in [50k, 100k)?
         let hi_band = snap.range_count(&key(50_000, 0), &key(100_000, 0));

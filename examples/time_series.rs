@@ -27,8 +27,8 @@ fn main() {
                 for minute in (feed..1440).step_by(4) {
                     // Synthetic diurnal curve + per-feed phase.
                     let phase = (minute as f64 / 1440.0) * std::f64::consts::TAU;
-                    let watts = (800.0 + 600.0 * phase.sin() + (feed as f64) * 13.0)
-                        .max(10.0) as u64;
+                    let watts =
+                        (800.0 + 600.0 * phase.sin() + (feed as f64) * 13.0).max(10.0) as u64;
                     energy.insert(minute, watts);
                     readings.insert(minute, watts);
                 }
@@ -49,9 +49,7 @@ fn main() {
         let total = energy.range_aggregate(&lo, &hi);
         let mm = readings.range_aggregate(&lo, &hi);
         let count = energy.range_count(&lo, &hi);
-        println!(
-            "{name:<16} samples={count:<4} energy={total:>7} min/max={mm:?}"
-        );
+        println!("{name:<16} samples={count:<4} energy={total:>7} min/max={mm:?}");
         assert_eq!(count, hi - lo + 1);
     }
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Short update-heavy before/after benchmark of the propagate hot path.
+# Writes BENCH_PR1.json (throughput + work-counter averages for the
+# baseline and optimized hot paths) to the repo root.
+#
+# Usage: scripts/bench_smoke.sh [extra bench_pr1 args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+cargo run --release -p bench --bin bench_pr1 -- \
+    --threads 1,2,4,8 --duration-ms 800 --trials 5 --max-key 32768 \
+    --out BENCH_PR1.json "$@"

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints (warnings are errors), build, and tests —
+# the same sequence CI should run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cbat::core::IntervalMap;
-use cbat::{BatMap, PairAug, MinMaxAug, SumAug};
+use cbat::{BatMap, MinMaxAug, PairAug, SumAug};
 
 #[test]
 fn floor_ceiling_oracle_large() {
@@ -55,7 +55,11 @@ fn select_in_range_oracle() {
     let snap = m.snapshot();
     let all: Vec<u64> = snap.keys();
     for (lo, hi) in [(0u64, 499u64), (10, 20), (100, 100), (400, 300)] {
-        let want: Vec<u64> = all.iter().copied().filter(|k| *k >= lo && *k <= hi).collect();
+        let want: Vec<u64> = all
+            .iter()
+            .copied()
+            .filter(|k| *k >= lo && *k <= hi)
+            .collect();
         for i in 0..want.len() as u64 + 1 {
             assert_eq!(
                 snap.select_in_range(&lo, &hi, i).map(|p| p.0),
@@ -130,10 +134,7 @@ fn composed_augmentation_end_to_end() {
         let want_mm = if vals.is_empty() {
             None
         } else {
-            Some((
-                *vals.iter().min().unwrap(),
-                *vals.iter().max().unwrap(),
-            ))
+            Some((*vals.iter().min().unwrap(), *vals.iter().max().unwrap()))
         };
         assert_eq!(mm, want_mm, "minmax [{lo},{hi}]");
     }

@@ -6,8 +6,8 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use cbat::{BatMap, BatSet, DelegationPolicy, SumAug};
 use cbat::workloads::Xorshift;
+use cbat::{BatMap, BatSet, DelegationPolicy, SumAug};
 
 fn all_policies() -> Vec<DelegationPolicy> {
     vec![
@@ -281,7 +281,10 @@ fn node_tree_invariants_after_stress() {
     let guard = ebr::pin();
     map.node_tree().cleanup_everywhere(&guard);
     drop(guard);
-    let shape = map.node_tree().validate(true).expect("chromatic invariants");
+    let shape = map
+        .node_tree()
+        .validate(true)
+        .expect("chromatic invariants");
     assert_eq!(shape.keys as u64, map.len());
     ebr::flush();
 }

@@ -33,7 +33,7 @@ struct Event {
 /// exhaustive search over linear extensions of the interval order. The
 /// interval-order pruning (only ops invoked before the earliest pending
 /// return may linearize first) keeps this fast for our history sizes.
-fn check_key_history(events: &mut Vec<Event>) -> bool {
+fn check_key_history(events: &mut [Event]) -> bool {
     events.sort_by_key(|e| e.invoke);
     let n = events.len();
     if n == 0 {
@@ -46,7 +46,7 @@ fn check_key_history(events: &mut Vec<Event>) -> bool {
 fn apply(kind: OpKind, result: bool, state: bool) -> Option<bool> {
     match kind {
         OpKind::Insert => {
-            if result == !state {
+            if result != state {
                 Some(true)
             } else {
                 None

@@ -2,6 +2,8 @@
 //! `BTreeMap`/`BTreeSet` oracles for every tree in the workspace, plus
 //! structural and query invariants.
 
+#![cfg(feature = "proptest")]
+
 use std::collections::{BTreeMap, BTreeSet};
 
 use proptest::prelude::*;
@@ -37,10 +39,7 @@ fn oracle_rank(oracle: &BTreeMap<u64, u64>, k: u64) -> u64 {
     oracle.range(..=k).count() as u64
 }
 
-fn check_sequence(
-    map: &BatMap<u64, u64, SumAug>,
-    ops: &[Op],
-) -> Result<(), TestCaseError> {
+fn check_sequence(map: &BatMap<u64, u64, SumAug>, ops: &[Op]) -> Result<(), TestCaseError> {
     let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
     for op in ops {
         match *op {
