@@ -1,0 +1,231 @@
+//! `bench_pr2` — the revived bench harness: a thin sweep ported onto
+//! `workloads::run` that measures the PR 2 hot-path work (pool-backed
+//! chromatic tree nodes and fanout COW nodes) across *scenario mixes*,
+//! not just the update-only workload `bench_pr1` tracks.
+//!
+//! Three mixes run twice in one process — once with
+//! `cbat_core::hotpath::set_baseline(true)` (malloc'd nodes/versions,
+//! single stats stripe) and once optimized — and a final sweep drives
+//! every adapter in the workspace through every mix, proving no scenario
+//! panics on any adapter (the update-only chromatic ablation included:
+//! its query share degrades to finds via the capability report).
+//!
+//! The output lands in `BENCH_PR<n>.json` (one file per PR, so the perf
+//! trajectory accumulates instead of overwriting); rows carry the same
+//! `mode`/`threads`/`mops` keys as `BENCH_PR1.json`, plus `mix`, so
+//! `scripts/bench_compare.sh` can diff trajectories across PRs.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_pr2 -- \
+//!     [--pr 2] [--threads 1,2,4,8] [--duration-ms 500] [--trials 3] \
+//!     [--max-key 32768] [--out BENCH_PR<pr>.json]
+//! ```
+
+use std::time::Duration;
+
+use bench::{full_lineup, BatAdapter};
+use workloads::{KeyDist, OpMix, QueryKind, RunConfig};
+
+/// The scenario mixes the sweep covers (name, paper-style mix string,
+/// shares in percent: insert-delete-find-query).
+const MIXES: [(&str, &str, [u32; 4]); 3] = [
+    ("update-heavy", "50i-50d-0f-0rq", [50, 50, 0, 0]),
+    ("mixed", "25i-25d-40f-10rq", [25, 25, 40, 10]),
+    ("query-heavy", "5i-5d-60f-30rq", [5, 5, 60, 30]),
+];
+
+struct Opts {
+    pr: u32,
+    threads: Vec<usize>,
+    duration: Duration,
+    trials: usize,
+    max_key: u64,
+    out: Option<String>,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let mut o = Opts {
+            pr: 2,
+            threads: vec![1, 2, 4, 8],
+            duration: Duration::from_millis(500),
+            trials: 3,
+            max_key: 1 << 15,
+            out: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut val = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match a.as_str() {
+                "--pr" => o.pr = val("--pr").parse().expect("pr number"),
+                "--threads" => {
+                    o.threads = val("--threads")
+                        .split(',')
+                        .map(|t| t.parse().expect("thread count"))
+                        .collect();
+                }
+                "--duration-ms" => {
+                    o.duration = Duration::from_millis(val("--duration-ms").parse().expect("ms"));
+                }
+                "--trials" => o.trials = val("--trials").parse().expect("trials"),
+                "--max-key" => o.max_key = val("--max-key").parse().expect("max key"),
+                "--out" => o.out = Some(val("--out")),
+                other => panic!("unknown option {other}"),
+            }
+        }
+        assert!(
+            !o.threads.is_empty() && o.threads.iter().all(|&t| t >= 1),
+            "--threads needs a comma-separated list of counts >= 1"
+        );
+        assert!(o.trials >= 1, "--trials must be >= 1");
+        o
+    }
+
+    fn out(&self) -> String {
+        self.out
+            .clone()
+            .unwrap_or_else(|| format!("BENCH_PR{}.json", self.pr))
+    }
+}
+
+fn config(opts: &Opts, mix: [u32; 4], threads: usize, trial: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(threads, opts.max_key);
+    cfg.mix = OpMix::percent(mix[0], mix[1], mix[2], mix[3]);
+    cfg.query = QueryKind::RangeCount { size: 100 };
+    cfg.dist = KeyDist::Uniform;
+    cfg.duration = opts.duration;
+    cfg.seed = 0x00BE_9C42 ^ (trial as u64) << 32 ^ threads as u64;
+    cfg
+}
+
+struct Row {
+    mix: &'static str,
+    mode: &'static str,
+    threads: usize,
+    mops: f64,
+}
+
+/// Best-of-`trials` BAT throughput for one (mix, mode, thread-count) point.
+fn measure(
+    opts: &Opts,
+    mix: &(&'static str, &'static str, [u32; 4]),
+    mode: &'static str,
+    threads: usize,
+) -> Row {
+    cbat_core::hotpath::set_baseline(mode == "baseline");
+    let mut best = 0.0f64;
+    for trial in 0..opts.trials {
+        // Plain BAT (double refresh, no delegation waits): the variant
+        // whose per-update cost is purest node + version traffic.
+        let set = BatAdapter::plain();
+        let r = workloads::run(&set, &config(opts, mix.2, threads, trial));
+        eprintln!(
+            "  {:>12} {mode:>9} TT={threads} trial {trial}: {:.3} Mops/s",
+            mix.0,
+            r.mops()
+        );
+        best = best.max(r.mops());
+        ebr::flush();
+    }
+    Row {
+        mix: mix.1,
+        mode,
+        threads,
+        mops: best,
+    }
+}
+
+fn main() {
+    let opts = Opts::parse();
+
+    // Baseline first: the pools are still cold, so the baseline phase
+    // cannot accidentally benefit from warm free lists.
+    let mut rows: Vec<Row> = Vec::new();
+    for &mode in &["baseline", "optimized"] {
+        eprintln!("== {mode} hot path ==");
+        for mix in &MIXES {
+            for &tt in &opts.threads {
+                rows.push(measure(&opts, mix, mode, tt));
+            }
+        }
+    }
+    cbat_core::hotpath::set_baseline(false);
+
+    let mut gains = Vec::new();
+    for (_, mix, _) in &MIXES {
+        for &tt in &opts.threads {
+            let at = |mode: &str| {
+                rows.iter()
+                    .find(|r| r.mode == mode && r.mix == *mix && r.threads == tt)
+                    .expect("swept row")
+                    .mops
+            };
+            let (base, opt) = (at("baseline"), at("optimized"));
+            let gain = opt / base - 1.0;
+            eprintln!(
+                "{mix} TT={tt}: baseline {base:.3} -> optimized {opt:.3} Mops/s ({:+.1}%)",
+                gain * 100.0
+            );
+            gains.push(format!(
+                "    {{\"mix\": \"{mix}\", \"threads\": {tt}, \"gain\": {gain:.4}}}"
+            ));
+        }
+    }
+
+    // Adapter sweep: every adapter through every mix (short, optimized).
+    // Completing this loop is itself the assertion that no mix panics on
+    // any adapter.
+    eprintln!("== adapter sweep ==");
+    let mut sweep = Vec::new();
+    for mix in &MIXES {
+        for set in full_lineup() {
+            let mut cfg = config(&opts, mix.2, opts.threads[0], 0);
+            cfg.duration = opts.duration.min(Duration::from_millis(200));
+            let r = workloads::run(set.as_ref(), &cfg);
+            assert!(r.total_ops > 0, "{} did no work on {}", set.name(), mix.0);
+            eprintln!("  {:>12} {:<22} {:.3} Mops/s", mix.0, set.name(), r.mops());
+            sweep.push(format!(
+                "    {{\"adapter\": \"{}\", \"mix\": \"{}\", \"mops\": {:.6}}}",
+                set.name(),
+                mix.1,
+                r.mops()
+            ));
+            ebr::flush();
+        }
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mix\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"mops\": {:.6}}}",
+                r.mix, r.mode, r.threads, r.mops
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"pr\": {},\n  \"title\": \"pool-backed tree nodes across workload mixes\",\n  \
+         \"workload\": {{\"dist\": \"uniform\", \"max_key\": {}, \"prefill\": true, \
+         \"duration_ms\": {}, \"trials\": {}, \"structure\": \"BAT\", \"rq_size\": 100, \
+         \"host_cores\": {}}},\n  \
+         \"results\": [\n{}\n  ],\n  \"throughput_gain\": [\n{}\n  ],\n  \
+         \"adapter_sweep\": [\n{}\n  ]\n}}\n",
+        opts.pr,
+        opts.max_key,
+        opts.duration.as_millis(),
+        opts.trials,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        json_rows.join(",\n"),
+        gains.join(",\n"),
+        sweep.join(",\n"),
+    );
+    let out = opts.out();
+    std::fs::write(&out, &json).expect("write json");
+    eprintln!("wrote {out}");
+    print!("{json}");
+}

@@ -18,7 +18,7 @@ use chromatic::ChromaticSet;
 use fanout::FanoutSet;
 use frbst::FrSet;
 use vcas::VcasSet;
-use workloads::BenchSet;
+use workloads::{BenchSet, Capabilities};
 
 /// Default delegation timeout used by the benchmark variants (keeps every
 /// variant non-blocking, per §5's timeout note).
@@ -258,7 +258,12 @@ impl BenchSet for FanoutAdapter {
 
 /// Unaugmented chromatic tree — the augmentation-overhead ablation (A2).
 /// Only point operations are meaningful; ordered queries are not supported
-/// (that inability is BAT's raison d'être) and panic if invoked.
+/// (that inability is BAT's raison d'être). The adapter advertises
+/// [`Capabilities::POINT_ONLY`], so `workloads::run` re-samples the query
+/// share of any mix as finds instead of reaching the panicking stubs —
+/// every scenario mix is runnable against the ablation. Calling a query
+/// method directly still panics: silently returning a wrong count would
+/// corrupt an experiment, a loud abort cannot.
 pub struct ChromaticAdapter {
     set: ChromaticSet<u64>,
 }
@@ -302,6 +307,9 @@ impl BenchSet for ChromaticAdapter {
     fn name(&self) -> &'static str {
         "Chromatic (unaugmented)"
     }
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::POINT_ONLY
+    }
 }
 
 /// The full comparison lineup used by Figs. 6–10.
@@ -312,6 +320,16 @@ pub fn lineup() -> Vec<Box<dyn BenchSet>> {
         Box::new(VcasAdapter::new()),
         Box::new(FanoutAdapter::new()),
     ]
+}
+
+/// Every adapter in the workspace, including the point-only ablation —
+/// the lineup `bench_pr2` sweeps to prove no mix panics on any adapter.
+pub fn full_lineup() -> Vec<Box<dyn BenchSet>> {
+    let mut all = lineup();
+    all.push(Box::new(BatAdapter::plain()));
+    all.push(Box::new(BatAdapter::del()));
+    all.push(Box::new(ChromaticAdapter::new()));
+    all
 }
 
 #[cfg(test)]
@@ -361,5 +379,32 @@ mod tests {
         cfg.mix = workloads::OpMix::percent(50, 50, 0, 0);
         let r = workloads::run(&s, &cfg);
         assert!(r.total_ops > 0);
+    }
+
+    #[test]
+    fn query_mixes_run_on_every_adapter_without_panicking() {
+        // Regression test: a query-bearing mix used to abort the whole run
+        // with `unimplemented!` on the chromatic ablation adapter. The
+        // capability report makes the harness degrade queries to finds.
+        for query in [
+            workloads::QueryKind::RangeCount { size: 64 },
+            workloads::QueryKind::Rank,
+            workloads::QueryKind::Select,
+        ] {
+            let mut cfg = workloads::RunConfig::new(2, 2_000);
+            cfg.duration = std::time::Duration::from_millis(20);
+            cfg.mix = workloads::OpMix::percent(10, 10, 40, 40);
+            cfg.query = query;
+            for set in full_lineup() {
+                let r = workloads::run(set.as_ref(), &cfg);
+                assert!(r.total_ops > 0, "{} did no work", set.name());
+                if set.capabilities().supports(query) {
+                    assert!(r.ops[3] > 0, "{} ran no queries", set.name());
+                } else {
+                    assert_eq!(r.ops[3], 0, "{} must re-sample queries", set.name());
+                }
+            }
+            ebr::flush();
+        }
     }
 }

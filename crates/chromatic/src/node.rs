@@ -65,10 +65,12 @@ pub type ChildSnap = (u64, u64);
 
 impl<K: Ord + Clone, V: Clone, P: NodePlugin<K, V>> Node<K, V, P> {
     /// Allocate a leaf node (weight defaults to 1 for fresh leaves; deletes
-    /// pass explicit weights when copying).
+    /// pass explicit weights when copying). Memory comes from the EBR
+    /// free-list pool, so steady-state update patches recycle the nodes
+    /// they retire instead of round-tripping the global allocator.
     pub fn new_leaf(key: SentKey<K>, weight: u32, value: Option<V>) -> *mut Self {
         let plugin = P::new_leaf(&key, value.as_ref());
-        Box::into_raw(Box::new(Node {
+        ebr::pool::alloc_pooled(Node {
             header: RecordHeader::new(),
             left: AtomicU64::new(0),
             right: AtomicU64::new(0),
@@ -76,14 +78,15 @@ impl<K: Ord + Clone, V: Clone, P: NodePlugin<K, V>> Node<K, V, P> {
             weight,
             value,
             plugin,
-        }))
+        })
     }
 
-    /// Allocate an internal node with the given children.
+    /// Allocate an internal node with the given children (pool-backed,
+    /// like [`Node::new_leaf`]).
     pub fn new_internal(key: SentKey<K>, weight: u32, left: u64, right: u64) -> *mut Self {
         debug_assert!(left != 0 && right != 0, "internal node requires children");
         let plugin = P::new_internal(&key);
-        Box::into_raw(Box::new(Node {
+        ebr::pool::alloc_pooled(Node {
             header: RecordHeader::new(),
             left: AtomicU64::new(left),
             right: AtomicU64::new(right),
@@ -91,7 +94,7 @@ impl<K: Ord + Clone, V: Clone, P: NodePlugin<K, V>> Node<K, V, P> {
             weight,
             value: None,
             plugin,
-        }))
+        })
     }
 
     /// Copy this node with a new weight; children taken from an LLX
@@ -226,15 +229,17 @@ impl<K: Ord, V, P> Node<K, V, P> {
     }
 }
 
-/// Reclamation entry point: runs the plugin hook, then frees the node.
+/// Reclamation entry point: runs the plugin hook, drops the node in place
+/// and returns its memory to the reclaiming thread's free-list pool.
 ///
 /// # Safety
-/// `ptr` must be a `Box`-allocated `Node` that is unreachable (or never was
-/// published), freed exactly once.
+/// `ptr` must be a `Node` allocated by [`Node::new_leaf`] /
+/// [`Node::new_internal`] that is unreachable (or never was published),
+/// freed exactly once.
 pub unsafe fn free_node<K, V, P: NodePlugin<K, V>>(ptr: *mut u8) {
-    let node = unsafe { Box::from_raw(ptr as *mut Node<K, V, P>) };
-    node.plugin.on_reclaim();
-    drop(node);
+    let node = ptr as *mut Node<K, V, P>;
+    unsafe { (*node).plugin.on_reclaim() };
+    unsafe { ebr::pool::dispose_pooled(node) };
 }
 
 /// Retire a node through EBR with the plugin-aware destructor.

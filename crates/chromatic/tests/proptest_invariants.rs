@@ -2,96 +2,112 @@
 //! *checkpointed* validation: invariants are asserted not only at the end
 //! but at random points mid-sequence, catching transiently-broken states
 //! that end-only checks miss.
-
-#![cfg(feature = "proptest")]
+//!
+//! Driven by the deterministic xorshift generator from `workloads::rng`
+//! (not the external `proptest` crate, which this environment does not
+//! vendor): every case derives from a fixed seed, so the suite runs
+//! unconditionally and failures reproduce exactly.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
-
 use chromatic::ChromaticSet;
+use workloads::Xorshift;
 
 #[derive(Debug, Clone)]
 enum Step {
-    Insert(u16),
-    Remove(u16),
+    Insert(u64),
+    Remove(u64),
     Checkpoint,
 }
 
-fn steps() -> impl Strategy<Value = Vec<Step>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => any::<u16>().prop_map(|k| Step::Insert(k % 384)),
-            4 => any::<u16>().prop_map(|k| Step::Remove(k % 384)),
-            1 => Just(Step::Checkpoint),
-        ],
-        1..500,
-    )
+/// A random op sequence: insert/remove over a small key range with
+/// occasional validation checkpoints (1 in 9 steps).
+fn steps(rng: &mut Xorshift, len: usize) -> Vec<Step> {
+    (0..len)
+        .map(|_| match rng.below(9) {
+            0..=3 => Step::Insert(rng.below(384)),
+            4..=7 => Step::Remove(rng.below(384)),
+            _ => Step::Checkpoint,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn invariants_hold_at_every_checkpoint(ops in steps()) {
+#[test]
+fn invariants_hold_at_every_checkpoint() {
+    for case in 0..64u64 {
+        let mut rng = Xorshift::new(0xC0DE_0001 ^ case);
+        let len = 1 + rng.below(500) as usize;
+        let ops = steps(&mut rng, len);
         let set = ChromaticSet::<u64>::new();
         let mut oracle = BTreeSet::new();
         for (i, op) in ops.iter().enumerate() {
             match op {
                 Step::Insert(k) => {
-                    let k = *k as u64;
-                    prop_assert_eq!(set.insert(k), oracle.insert(k));
+                    assert_eq!(set.insert(*k), oracle.insert(*k), "case {case} step {i}");
                 }
                 Step::Remove(k) => {
-                    let k = *k as u64;
-                    prop_assert_eq!(set.remove(&k), oracle.remove(&k));
+                    assert_eq!(set.remove(k), oracle.remove(k), "case {case} step {i}");
                 }
                 Step::Checkpoint => {
-                    let shape = set.tree().validate(true)
-                        .map_err(|e| TestCaseError::fail(format!("step {i}: {e:?}")))?;
-                    prop_assert_eq!(shape.keys, oracle.len());
+                    let shape = set
+                        .tree()
+                        .validate(true)
+                        .unwrap_or_else(|e| panic!("case {case} step {i}: {e:?}"));
+                    assert_eq!(shape.keys, oracle.len(), "case {case} step {i}");
                 }
             }
         }
         let keys = set.collect_keys();
         let want: Vec<u64> = oracle.iter().copied().collect();
-        prop_assert_eq!(keys, want);
-        set.tree().validate(true)
-            .map_err(|e| TestCaseError::fail(format!("final: {e:?}")))?;
+        assert_eq!(keys, want, "case {case}");
+        set.tree()
+            .validate(true)
+            .unwrap_or_else(|e| panic!("case {case} final: {e:?}"));
     }
+}
 
-    #[test]
-    fn duplicate_and_missing_ops_are_exact(
-        keys in proptest::collection::vec(any::<u8>(), 1..100)
-    ) {
-        // Insert everything twice, remove everything twice: returns must
-        // alternate true/false exactly.
+#[test]
+fn duplicate_and_missing_ops_are_exact() {
+    // Insert everything twice, remove everything twice: returns must
+    // alternate true/false exactly.
+    for case in 0..32u64 {
+        let mut rng = Xorshift::new(0xC0DE_0002 ^ case);
+        let n = 1 + rng.below(100);
+        let uniq: BTreeSet<u64> = (0..n).map(|_| rng.below(256)).collect();
         let set = ChromaticSet::<u64>::new();
-        let uniq: BTreeSet<u64> = keys.iter().map(|k| *k as u64).collect();
         for &k in &uniq {
-            prop_assert!(set.insert(k));
-            prop_assert!(!set.insert(k));
+            assert!(set.insert(k), "case {case}");
+            assert!(!set.insert(k), "case {case}");
         }
         for &k in &uniq {
-            prop_assert!(set.remove(&k));
-            prop_assert!(!set.remove(&k));
+            assert!(set.remove(&k), "case {case}");
+            assert!(!set.remove(&k), "case {case}");
         }
-        prop_assert_eq!(set.collect_keys().len(), 0);
+        assert_eq!(set.collect_keys().len(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn interleaved_ranges_never_cross(
-        a in proptest::collection::btree_set(any::<u8>(), 1..60),
-        b in proptest::collection::btree_set(any::<u8>(), 1..60),
-    ) {
-        // Insert range A, then B, remove A, the survivors must be B \ A.
+#[test]
+fn interleaved_ranges_never_cross() {
+    // Insert range A, then B, remove A, the survivors must be B \ A.
+    for case in 0..32u64 {
+        let mut rng = Xorshift::new(0xC0DE_0003 ^ case);
+        let a: BTreeSet<u64> = (0..1 + rng.below(60)).map(|_| rng.below(256)).collect();
+        let b: BTreeSet<u64> = (0..1 + rng.below(60)).map(|_| rng.below(256)).collect();
         let set = ChromaticSet::<u64>::new();
-        for &k in &a { set.insert(k as u64); }
-        for &k in &b { set.insert(k as u64); }
-        for &k in &a { set.remove(&(k as u64)); }
-        let want: Vec<u64> = b.difference(&a).map(|&k| k as u64).collect();
-        prop_assert_eq!(set.collect_keys(), want);
-        set.tree().validate(true)
-            .map_err(|e| TestCaseError::fail(format!("{e:?}")))?;
+        for &k in &a {
+            set.insert(k);
+        }
+        for &k in &b {
+            set.insert(k);
+        }
+        for &k in &a {
+            set.remove(&k);
+        }
+        let want: Vec<u64> = b.difference(&a).copied().collect();
+        assert_eq!(set.collect_keys(), want, "case {case}");
+        set.tree()
+            .validate(true)
+            .unwrap_or_else(|e| panic!("case {case}: {e:?}"));
     }
 }

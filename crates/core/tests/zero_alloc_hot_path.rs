@@ -1,11 +1,17 @@
-//! Counting-global-allocator proof of the PR 1 tentpole: in steady state
-//! the propagate hot path touches the global allocator **zero** times.
+//! Counting-global-allocator proof of the PR 1 and PR 2 tentpoles: in
+//! steady state the *entire* update path — propagate (PR 1) **and** the
+//! structural node-tree modification including rebalancing (PR 2) —
+//! touches the global allocator **zero** times.
 //!
 //! After warm-up (thread-local scratch vectors at capacity, EBR bag
-//! vectors recycled, `Version`/`PropStatus` free-list pools stocked), a
-//! propagate allocates every version it installs from the pool and every
-//! retired object's memory flows back to the pool, so a measured window of
-//! propagates performs no heap allocation at all.
+//! vectors recycled, `Node`/`Version`/`PropStatus` free-list pools
+//! stocked), every object an update installs comes from the pool and
+//! every retired object's memory flows back to it, so a measured window
+//! of mixed inserts/removes — leaf patches, delete patches, BLK/RB/W
+//! rebalancing steps, version refreshes, delegation statuses — performs
+//! no heap allocation at all. Flipping `hotpath::set_baseline(true)`
+//! restores the seed's malloc-per-object behavior in the same binary,
+//! which the final window demonstrates.
 //!
 //! This file deliberately holds a single `#[test]`: the libtest harness
 //! runs tests of one binary on multiple threads, and any concurrent test
@@ -54,7 +60,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 #[test]
-fn steady_state_propagate_performs_zero_heap_allocations() {
+fn steady_state_hot_paths_perform_zero_heap_allocations() {
+    propagate_window();
+    node_churn_window();
+    baseline_mode_allocates_again();
+}
+
+fn propagate_window() {
     // BAT-Del exercises the PropStatus pool as well as the version pool.
     let m = BatMap::<u64, u64>::with_policy(DelegationPolicy::Del {
         timeout: Some(std::time::Duration::from_millis(2)),
@@ -67,7 +79,7 @@ fn steady_state_propagate_performs_zero_heap_allocations() {
     // bag capacities), then run the exact loop we will measure.
     for round in 0..8u64 {
         for k in 0..256u64 {
-            if (k + round) % 2 == 0 {
+            if (k + round).is_multiple_of(2) {
                 m.remove(&k);
             } else {
                 m.insert(k, k);
@@ -114,4 +126,94 @@ fn steady_state_propagate_performs_zero_heap_allocations() {
     // Sanity: the map still works and the stats recorded the window.
     assert!(m.stats.snapshot().propagates >= 3000);
     assert!(m.contains(&300));
+}
+
+/// PR 2 window: a steady-state stretch of mixed inserts and removes —
+/// node-tree patches *and* the rebalancing steps they trigger — must be
+/// served entirely by the pools. The churn pattern removes and re-inserts
+/// alternating halves of a fixed key range, so the tree's size is
+/// stationary while every op commits a structural SCX (and the weight
+/// violations it creates keep the BLK/RB/W fix-up cases firing).
+fn node_churn_window() {
+    let m = BatMap::<u64, u64>::with_policy(DelegationPolicy::Del {
+        timeout: Some(std::time::Duration::from_millis(2)),
+    });
+    for k in 0..1024u64 {
+        m.insert(k, k);
+    }
+
+    let churn = |round: u64| {
+        for k in 0..500u64 {
+            if (k + round).is_multiple_of(2) {
+                m.remove(&k);
+            } else {
+                m.insert(k, k);
+            }
+        }
+    };
+
+    // Warm-up: run the exact loop we will measure until every pool class
+    // (nodes, versions, statuses) and scratch buffer is at capacity.
+    for round in 0..10u64 {
+        churn(round);
+    }
+    ebr::flush();
+
+    let rebalances0 = m.node_tree().stats.total_rebalances();
+    let (h0, m0, _) = ebr::pool::local_stats();
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    churn(10);
+    churn(11);
+    COUNTING.store(false, Ordering::SeqCst);
+    let (h1, m1, _) = ebr::pool::local_stats();
+    let rebalances1 = m.node_tree().stats.total_rebalances();
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "steady-state inserts/removes must not touch the global allocator"
+    );
+    assert!(
+        rebalances1 > rebalances0,
+        "churn window must exercise rebalancing steps"
+    );
+    assert!(
+        h1 > h0,
+        "window must be served by pool hits (hits {h0} -> {h1})"
+    );
+    assert_eq!(
+        m1 - m0,
+        0,
+        "no pool miss may fall through to malloc in the window"
+    );
+
+    // Sanity: the set's contents match the churn parity we ended on
+    // (round 11 removed odd keys below 500 and re-inserted even ones).
+    assert!(m.contains(&0));
+    assert!(!m.contains(&1));
+    assert!(m.contains(&1000));
+}
+
+/// Control: with `hotpath::set_baseline(true)` the pools are bypassed and
+/// the same churn loop hits the global allocator again — proving the
+/// counter actually observes the update path.
+fn baseline_mode_allocates_again() {
+    cbat_core::hotpath::set_baseline(true);
+    let m = BatMap::<u64, u64>::new();
+    for k in 0..256u64 {
+        m.insert(k, k);
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for k in 0..128u64 {
+        m.remove(&k);
+        m.insert(k, k);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    cbat_core::hotpath::set_baseline(false);
+    assert!(
+        ALLOCS.load(Ordering::SeqCst) > 0,
+        "baseline mode must restore per-update heap allocation"
+    );
 }

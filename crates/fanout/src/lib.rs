@@ -15,6 +15,18 @@
 //! everything else) and publish with one CAS; readers snapshot by loading
 //! the root under an epoch guard. Replaced path nodes are epoch-retired.
 //!
+//! **Allocation discipline (PR 2):** a node's key/separator/child arrays
+//! are stored *inline* at fixed capacity, so every [`BNode`] — leaf or
+//! internal — has one layout and is served by the layout-keyed EBR
+//! free-list pool (`ebr::pool`). A steady-state COW update therefore
+//! allocates its copied path entirely from recycled node memory and the
+//! retired path flows back to the pool after its grace period: zero global
+//! allocator traffic, exactly like the chromatic node tree. The path of
+//! replaced nodes is collected into a thread-local reusable buffer, so the
+//! update loop itself is allocation-free too. The pool honors
+//! `ebr::pool::set_enabled` (flipped by `cbat_core::hotpath::set_baseline`),
+//! so the before/after benchmarks can restore malloc'd nodes in-binary.
+//!
 //! Substitution notes (DESIGN.md §2.5): verlib's versioned pointers allow
 //! disjoint updates to proceed without conflicting; our single root CAS
 //! serializes writers instead. On the single-core evaluation machine this
@@ -24,6 +36,7 @@
 //! merging); persistent B-trees tolerate thin leaves with the same
 //! asymptotics.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum keys per leaf before splitting.
@@ -31,22 +44,84 @@ const LEAF_CAP: usize = 16;
 /// Maximum children per internal node before splitting.
 const NODE_CAP: usize = 16;
 
+/// A fixed-capacity copy-on-write tree node. Both variants carry their
+/// arrays inline so the whole enum is one `(size, align)` class for the
+/// EBR pool; `len` tracks the occupied prefix.
 enum BNode {
-    /// Sorted keys.
-    Leaf(Vec<u64>),
-    /// `seps[i]` is the smallest key reachable under `children[i + 1]`.
-    Internal { seps: Vec<u64>, children: Vec<u64> },
+    /// Sorted keys in `keys[..len]`.
+    Leaf { len: u8, keys: [u64; LEAF_CAP] },
+    /// `children[..len]` are occupied; `seps[i]` is the smallest key
+    /// reachable under `children[i + 1]` (so `len - 1` separators).
+    Internal {
+        len: u8,
+        seps: [u64; NODE_CAP - 1],
+        children: [u64; NODE_CAP],
+    },
 }
 
 impl BNode {
+    /// Build a leaf from a sorted slice (`keys.len() <= LEAF_CAP`).
+    fn leaf(src: &[u64]) -> u64 {
+        debug_assert!(src.len() <= LEAF_CAP);
+        let mut keys = [0u64; LEAF_CAP];
+        keys[..src.len()].copy_from_slice(src);
+        Self::alloc(BNode::Leaf {
+            len: src.len() as u8,
+            keys,
+        })
+    }
+
+    /// Build an internal node from slices (`ch.len() <= NODE_CAP`,
+    /// `sp.len() == ch.len() - 1`).
+    fn internal(sp: &[u64], ch: &[u64]) -> u64 {
+        debug_assert!(ch.len() <= NODE_CAP && sp.len() + 1 == ch.len());
+        let mut seps = [0u64; NODE_CAP - 1];
+        let mut children = [0u64; NODE_CAP];
+        seps[..sp.len()].copy_from_slice(sp);
+        children[..ch.len()].copy_from_slice(ch);
+        Self::alloc(BNode::Internal {
+            len: ch.len() as u8,
+            seps,
+            children,
+        })
+    }
+
     fn alloc(self) -> u64 {
-        Box::into_raw(Box::new(self)) as u64
+        ebr::pool::alloc_pooled(self) as u64
     }
 
     #[inline]
     unsafe fn from_raw<'g>(raw: u64) -> &'g BNode {
         unsafe { &*(raw as *const BNode) }
     }
+
+    /// The occupied key prefix (leaves only).
+    #[inline]
+    fn keys(&self) -> &[u64] {
+        match self {
+            BNode::Leaf { len, keys } => &keys[..*len as usize],
+            BNode::Internal { .. } => unreachable!("keys() on internal node"),
+        }
+    }
+
+    /// The occupied `(seps, children)` prefixes (internal nodes only).
+    #[inline]
+    fn fan(&self) -> (&[u64], &[u64]) {
+        match self {
+            BNode::Internal {
+                len,
+                seps,
+                children,
+            } => (&seps[..*len as usize - 1], &children[..*len as usize]),
+            BNode::Leaf { .. } => unreachable!("fan() on leaf node"),
+        }
+    }
+}
+
+thread_local! {
+    /// Reusable buffer for the root-to-leaf path an update replaces
+    /// (capacity is retained across updates: no per-update allocation).
+    static REPLACED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The higher-fanout unaugmented set.
@@ -77,7 +152,7 @@ impl FanoutSet {
     /// Empty set.
     pub fn new() -> Self {
         FanoutSet {
-            root: AtomicU64::new(BNode::Leaf(Vec::new()).alloc()),
+            root: AtomicU64::new(BNode::leaf(&[])),
         }
     }
 
@@ -92,116 +167,109 @@ impl FanoutSet {
     }
 
     fn update(&self, k: u64, insert: bool) -> bool {
-        loop {
-            let guard = ebr::pin();
-            let root = self.root.load(Ordering::Acquire);
-            let mut replaced: Vec<u64> = Vec::new();
-            let outcome = Self::update_rec(root, k, insert, &mut replaced);
-            let new_root = match outcome {
-                Updated::Noop => return false,
-                Updated::One(r) => r,
-                Updated::Split(l, sep, r) => BNode::Internal {
-                    seps: vec![sep],
-                    children: vec![l, r],
+        REPLACED.with(|cell| {
+            let mut replaced = cell.borrow_mut();
+            loop {
+                let guard = ebr::pin();
+                let root = self.root.load(Ordering::Acquire);
+                replaced.clear();
+                let outcome = Self::update_rec(root, k, insert, &mut replaced);
+                let new_root = match outcome {
+                    Updated::Noop => return false,
+                    Updated::One(r) => r,
+                    Updated::Split(l, sep, r) => BNode::internal(&[sep], &[l, r]),
+                };
+                if self
+                    .root
+                    .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    for &raw in replaced.iter() {
+                        unsafe { ebr::pool::retire_pooled(&guard, raw as *mut BNode) };
+                    }
+                    return true;
                 }
-                .alloc(),
-            };
-            if self
-                .root
-                .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
-                for raw in replaced {
-                    unsafe { guard.retire(raw as *mut BNode) };
-                }
-                return true;
+                // Lost the race: free the unpublished copies and retry.
+                Self::dispose_new(new_root, &replaced);
             }
-            // Lost the race: free the unpublished copies and retry.
-            Self::dispose_new(new_root, &replaced);
-        }
+        })
     }
 
     /// Recursively copy the path for an update. `replaced` collects the
     /// old nodes to retire on success.
     fn update_rec(raw: u64, k: u64, insert: bool, replaced: &mut Vec<u64>) -> Updated {
         match unsafe { BNode::from_raw(raw) } {
-            BNode::Leaf(keys) => match keys.binary_search(&k) {
-                Ok(i) => {
-                    if insert {
-                        return Updated::Noop;
+            node @ BNode::Leaf { .. } => {
+                let keys = node.keys();
+                match keys.binary_search(&k) {
+                    Ok(i) => {
+                        if insert {
+                            return Updated::Noop;
+                        }
+                        let mut new = [0u64; LEAF_CAP];
+                        new[..i].copy_from_slice(&keys[..i]);
+                        new[i..keys.len() - 1].copy_from_slice(&keys[i + 1..]);
+                        replaced.push(raw);
+                        Updated::One(BNode::leaf(&new[..keys.len() - 1]))
                     }
-                    let mut new = keys.clone();
-                    new.remove(i);
-                    replaced.push(raw);
-                    Updated::One(BNode::Leaf(new).alloc())
+                    Err(i) => {
+                        if !insert {
+                            return Updated::Noop;
+                        }
+                        let mut new = [0u64; LEAF_CAP + 1];
+                        new[..i].copy_from_slice(&keys[..i]);
+                        new[i] = k;
+                        new[i + 1..keys.len() + 1].copy_from_slice(&keys[i..]);
+                        let n = keys.len() + 1;
+                        replaced.push(raw);
+                        if n <= LEAF_CAP {
+                            Updated::One(BNode::leaf(&new[..n]))
+                        } else {
+                            let mid = n / 2;
+                            Updated::Split(
+                                BNode::leaf(&new[..mid]),
+                                new[mid],
+                                BNode::leaf(&new[mid..n]),
+                            )
+                        }
+                    }
                 }
-                Err(i) => {
-                    if !insert {
-                        return Updated::Noop;
-                    }
-                    let mut new = keys.clone();
-                    new.insert(i, k);
-                    replaced.push(raw);
-                    if new.len() <= LEAF_CAP {
-                        Updated::One(BNode::Leaf(new).alloc())
-                    } else {
-                        let right = new.split_off(new.len() / 2);
-                        let sep = right[0];
-                        Updated::Split(BNode::Leaf(new).alloc(), sep, BNode::Leaf(right).alloc())
-                    }
-                }
-            },
-            BNode::Internal { seps, children } => {
+            }
+            node @ BNode::Internal { .. } => {
+                let (seps, children) = node.fan();
                 let idx = seps.partition_point(|s| *s <= k);
                 match Self::update_rec(children[idx], k, insert, replaced) {
                     Updated::Noop => Updated::Noop,
                     Updated::One(c) => {
-                        let mut ch = children.clone();
+                        let mut ch = [0u64; NODE_CAP];
+                        ch[..children.len()].copy_from_slice(children);
                         ch[idx] = c;
                         replaced.push(raw);
-                        Updated::One(
-                            BNode::Internal {
-                                seps: seps.clone(),
-                                children: ch,
-                            }
-                            .alloc(),
-                        )
+                        Updated::One(BNode::internal(seps, &ch[..children.len()]))
                     }
                     Updated::Split(l, sep, r) => {
-                        let mut ch = children.clone();
-                        let mut sp = seps.clone();
+                        let mut ch = [0u64; NODE_CAP + 1];
+                        let mut sp = [0u64; NODE_CAP];
+                        ch[..children.len()].copy_from_slice(children);
+                        sp[..seps.len()].copy_from_slice(seps);
                         ch[idx] = l;
-                        ch.insert(idx + 1, r);
-                        sp.insert(idx, sep);
+                        ch.copy_within(idx + 1..children.len(), idx + 2);
+                        ch[idx + 1] = r;
+                        sp.copy_within(idx..seps.len(), idx + 1);
+                        sp[idx] = sep;
+                        let n = children.len() + 1;
                         replaced.push(raw);
-                        if ch.len() <= NODE_CAP {
-                            Updated::One(
-                                BNode::Internal {
-                                    seps: sp,
-                                    children: ch,
-                                }
-                                .alloc(),
-                            )
+                        if n <= NODE_CAP {
+                            Updated::One(BNode::internal(&sp[..n - 1], &ch[..n]))
                         } else {
-                            // With `c` children there are `c - 1` seps:
+                            // With `n` children there are `n - 1` seps:
                             // left keeps mid children / mid - 1 seps, the
                             // mid-th sep is promoted, the rest go right.
-                            let mid = ch.len() / 2;
-                            let rch = ch.split_off(mid);
-                            let mut rsp = sp.split_off(mid - 1);
-                            let promoted = rsp.remove(0);
+                            let mid = n / 2;
                             Updated::Split(
-                                BNode::Internal {
-                                    seps: sp,
-                                    children: ch,
-                                }
-                                .alloc(),
-                                promoted,
-                                BNode::Internal {
-                                    seps: rsp,
-                                    children: rch,
-                                }
-                                .alloc(),
+                                BNode::internal(&sp[..mid - 1], &ch[..mid]),
+                                sp[mid - 1],
+                                BNode::internal(&sp[mid..n - 1], &ch[mid..n]),
                             )
                         }
                     }
@@ -211,42 +279,35 @@ impl FanoutSet {
     }
 
     /// Free the freshly allocated copies of a failed update. Old nodes
-    /// (in `replaced`) are shared with the live tree and must survive.
+    /// (in `replaced`) are shared with the live tree and must survive, as
+    /// must their children (the copies share subtrees with them). The
+    /// walk is recursive (depth = tree height) and tests sharing by
+    /// scanning the tiny `replaced` path, so a lost CAS allocates nothing.
     fn dispose_new(new_root: u64, replaced: &[u64]) {
-        // New nodes are exactly those reachable from new_root that are not
-        // reachable from the live tree; they form the copied path (plus
-        // splits), and their children are either other new nodes or shared
-        // old subtrees. Walk down: a node is "new" iff it was just
-        // allocated — we detect by pointer inequality with any replaced
-        // node's children. Simplest sound approach: free the copied path
-        // by walking only nodes we allocated (the path). We reconstruct by
-        // noting every new node's children that are also new appear at the
-        // position the update descended. Rather than re-deriving, mark:
-        // all new allocations happened after `replaced` was filled;
-        // conservatively, free the path iteratively.
-        let mut stack = vec![new_root];
-        let old: std::collections::HashSet<u64> = replaced.iter().copied().collect();
-        // Children of new nodes that are NOT new are children of some
-        // replaced node too (structural sharing). Build that set.
-        let mut shared = std::collections::HashSet::new();
-        for &r in replaced {
-            if let BNode::Internal { children, .. } = unsafe { BNode::from_raw(r) } {
-                for &c in children {
-                    shared.insert(c);
+        // A node reachable from new_root is shared with the live tree iff
+        // it is a replaced node itself or a child of one (structural
+        // sharing copies at most the search path).
+        fn is_shared(raw: u64, replaced: &[u64]) -> bool {
+            replaced.iter().any(|&r| {
+                r == raw
+                    || match unsafe { BNode::from_raw(r) } {
+                        node @ BNode::Internal { .. } => node.fan().1.contains(&raw),
+                        BNode::Leaf { .. } => false,
+                    }
+            })
+        }
+        fn rec(raw: u64, replaced: &[u64]) {
+            if is_shared(raw, replaced) {
+                return;
+            }
+            if let node @ BNode::Internal { .. } = unsafe { BNode::from_raw(raw) } {
+                for &c in node.fan().1 {
+                    rec(c, replaced);
                 }
             }
+            unsafe { ebr::pool::dispose_pooled(raw as *mut BNode) };
         }
-        while let Some(raw) = stack.pop() {
-            if shared.contains(&raw) || old.contains(&raw) {
-                continue; // shared with the live tree
-            }
-            if let BNode::Internal { children, .. } = unsafe { BNode::from_raw(raw) } {
-                for &c in children {
-                    stack.push(c);
-                }
-            }
-            drop(unsafe { Box::from_raw(raw as *mut BNode) });
-        }
+        rec(new_root, replaced);
     }
 
     /// Take an O(1) snapshot.
@@ -278,12 +339,12 @@ impl Default for FanoutSet {
 impl Drop for FanoutSet {
     fn drop(&mut self) {
         fn walk(raw: u64) {
-            if let BNode::Internal { children, .. } = unsafe { BNode::from_raw(raw) } {
-                for &c in children {
+            if let node @ BNode::Internal { .. } = unsafe { BNode::from_raw(raw) } {
+                for &c in node.fan().1 {
                     walk(c);
                 }
             }
-            drop(unsafe { Box::from_raw(raw as *mut BNode) });
+            unsafe { ebr::pool::dispose_pooled(raw as *mut BNode) };
         }
         walk(self.root.load(Ordering::Acquire));
     }
@@ -295,8 +356,9 @@ impl FanoutSnapshot {
         let mut raw = self.root;
         loop {
             match unsafe { BNode::from_raw(raw) } {
-                BNode::Leaf(keys) => return keys.binary_search(&k).is_ok(),
-                BNode::Internal { seps, children } => {
+                node @ BNode::Leaf { .. } => return node.keys().binary_search(&k).is_ok(),
+                node @ BNode::Internal { .. } => {
+                    let (seps, children) = node.fan();
                     raw = children[seps.partition_point(|s| *s <= k)];
                 }
             }
@@ -310,12 +372,14 @@ impl FanoutSnapshot {
         }
         fn rec(raw: u64, lo: u64, hi: u64) -> u64 {
             match unsafe { BNode::from_raw(raw) } {
-                BNode::Leaf(keys) => {
+                node @ BNode::Leaf { .. } => {
+                    let keys = node.keys();
                     let a = keys.partition_point(|k| *k < lo);
                     let b = keys.partition_point(|k| *k <= hi);
                     (b - a) as u64
                 }
-                BNode::Internal { seps, children } => {
+                node @ BNode::Internal { .. } => {
+                    let (seps, children) = node.fan();
                     let first = seps.partition_point(|s| *s <= lo);
                     let last = seps.partition_point(|s| *s <= hi);
                     (first..=last).map(|i| rec(children[i], lo, hi)).sum()
@@ -330,12 +394,13 @@ impl FanoutSnapshot {
         let mut out = Vec::new();
         fn rec(raw: u64, lo: u64, hi: u64, out: &mut Vec<u64>) {
             match unsafe { BNode::from_raw(raw) } {
-                BNode::Leaf(keys) => {
-                    for &k in keys.iter().filter(|k| **k >= lo && **k <= hi) {
+                node @ BNode::Leaf { .. } => {
+                    for &k in node.keys().iter().filter(|k| **k >= lo && **k <= hi) {
                         out.push(k);
                     }
                 }
-                BNode::Internal { seps, children } => {
+                node @ BNode::Internal { .. } => {
+                    let (seps, children) = node.fan();
                     let first = seps.partition_point(|s| *s <= lo);
                     let last = seps.partition_point(|s| *s <= hi);
                     for &child in &children[first..=last] {
@@ -453,5 +518,37 @@ mod tests {
         }
         assert_eq!(s.len_slow(), 8000);
         ebr::flush();
+    }
+
+    #[test]
+    fn steady_state_updates_recycle_node_memory() {
+        let s = FanoutSet::new();
+        for k in 0..2_000u64 {
+            s.insert(k);
+        }
+        // Warm-up churn stocks the pool, then a measured window of the
+        // same loop must be served entirely from free-list hits.
+        for round in 0..6u64 {
+            for k in 0..512u64 {
+                if (k + round).is_multiple_of(2) {
+                    s.remove(k);
+                } else {
+                    s.insert(k);
+                }
+            }
+            ebr::flush();
+        }
+        let (_, m0, _) = ebr::pool::local_stats();
+        for round in 0..2u64 {
+            for k in 0..512u64 {
+                if (k + round).is_multiple_of(2) {
+                    s.remove(k);
+                } else {
+                    s.insert(k);
+                }
+            }
+        }
+        let (_, m1, _) = ebr::pool::local_stats();
+        assert_eq!(m1 - m0, 0, "steady-state COW updates must hit the pool");
     }
 }

@@ -1,53 +1,75 @@
 //! Property tests for the workload generators themselves: distributions
 //! must produce in-range keys, mixes must respect their shares, and the
 //! Zipf generator must be monotone in skew.
-
-#![cfg(feature = "proptest")]
-
-use proptest::prelude::*;
+//!
+//! Driven by the crate's own deterministic xorshift generator (not the
+//! external `proptest` crate, which this environment does not vendor), so
+//! the suite runs unconditionally and failures reproduce exactly.
 
 use workloads::{scramble, Xorshift, Zipf};
 
-proptest! {
-    #[test]
-    fn xorshift_streams_differ_by_seed(a in any::<u64>(), b in any::<u64>()) {
-        prop_assume!(a != b);
+#[test]
+fn xorshift_streams_differ_by_seed() {
+    let mut seeder = Xorshift::new(0x5EED_5EED);
+    for _ in 0..64 {
+        let a = seeder.next_u64();
+        let b = seeder.next_u64();
+        if a == b {
+            continue;
+        }
         let mut ra = Xorshift::new(a);
         let mut rb = Xorshift::new(b);
         let same = (0..16).all(|_| ra.next_u64() == rb.next_u64());
-        prop_assert!(!same, "distinct seeds produced identical streams");
+        assert!(!same, "seeds {a} and {b} produced identical streams");
     }
+}
 
-    #[test]
-    fn below_is_uniform_enough(bound in 2u64..1000) {
+#[test]
+fn below_is_uniform_enough() {
+    let mut picker = Xorshift::new(0xB0_B0);
+    for _ in 0..32 {
+        let bound = 2 + picker.below(998);
         let mut r = Xorshift::new(bound);
         let mut counts = vec![0u32; bound.min(16) as usize];
         let buckets = counts.len() as u64;
         const N: u32 = 4_000;
         for _ in 0..N {
             let v = r.below(bound);
-            prop_assert!(v < bound);
+            assert!(v < bound);
             counts[(v * buckets / bound) as usize] += 1;
         }
         // Every bucket within 3x of the mean: crude but catches biases.
         let mean = N / buckets as u32;
         for (i, c) in counts.iter().enumerate() {
-            prop_assert!(*c < mean * 3 + 30, "bucket {i} overloaded: {c} vs mean {mean}");
+            assert!(
+                *c < mean * 3 + 30,
+                "bound {bound} bucket {i} overloaded: {c} vs mean {mean}"
+            );
         }
     }
+}
 
-    #[test]
-    fn zipf_samples_in_range(n in 2u64..100_000, seed in any::<u64>()) {
+#[test]
+fn zipf_samples_in_range() {
+    let mut picker = Xorshift::new(0x21BF);
+    for _ in 0..16 {
+        let n = 2 + picker.below(99_998);
+        let seed = picker.next_u64();
         let z = Zipf::new(n, 0.9);
         let mut r = Xorshift::new(seed);
         for _ in 0..200 {
-            prop_assert!(z.sample(&mut r) < n);
+            assert!(z.sample(&mut r) < n);
         }
     }
+}
 
-    #[test]
-    fn scramble_stays_in_range(v in any::<u64>(), mk in 1u64..1_000_000) {
-        prop_assert!(scramble(v, mk) < mk);
+#[test]
+fn scramble_stays_in_range() {
+    let mut picker = Xorshift::new(0x5C4A);
+    for _ in 0..10_000 {
+        let v = picker.next_u64();
+        let mk = 1 + picker.below(999_999);
+        assert!(scramble(v, mk) < mk);
     }
 }
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Compare BENCH_PR*.json trajectory points and fail on a throughput
+# regression.
+#
+# Two-file mode: any *optimized* result row present in both files
+# (matched on mix and threads) whose new throughput is more than the
+# threshold below the old one fails the check. Baseline rows are ignored
+# (they are intentionally de-optimized; noise there is not a regression).
+# Only meaningful for files recorded on the same host.
+#
+# Self mode (--self): within ONE file, every (mix, threads) point must
+# have optimized throughput at least (100 - threshold)% of its baseline
+# twin. Both modes ran in the same process on the same machine, so this
+# is host-independent — it is the check CI runs on a fresh smoke file to
+# catch a code change that destroys the hot-path optimization.
+#
+# Usage:
+#   scripts/bench_compare.sh OLD.json NEW.json [threshold-pct]   # default 10
+#   scripts/bench_compare.sh --self NEW.json [threshold-pct]
+set -euo pipefail
+
+if [ "${1:-}" = "--self" ]; then
+    MODE=self
+    shift
+    OLD="${1:?usage: bench_compare.sh --self NEW.json [threshold-pct]}"
+    NEW="$OLD"
+    THRESH="${2:-10}"
+else
+    MODE=pair
+    OLD="${1:?usage: bench_compare.sh OLD.json NEW.json [threshold-pct]}"
+    NEW="${2:?usage: bench_compare.sh OLD.json NEW.json [threshold-pct]}"
+    THRESH="${3:-10}"
+fi
+
+python3 - "$MODE" "$OLD" "$NEW" "$THRESH" <<'EOF'
+import json
+import sys
+
+mode, old_path, new_path, thresh_pct = (
+    sys.argv[1],
+    sys.argv[2],
+    sys.argv[3],
+    float(sys.argv[4]),
+)
+
+
+def rows(path, mode_filter):
+    with open(path) as f:
+        doc = json.load(f)
+    # bench_pr1 rows carry no per-row mix; the whole file is one mix,
+    # recorded in the workload header.
+    default_mix = doc.get("workload", {}).get("mix", "?")
+    out = {}
+    for r in doc.get("results", []):
+        if r.get("mode") != mode_filter:
+            continue
+        key = (r.get("mix", default_mix), r["threads"])
+        out[key] = r["mops"]
+    return out
+
+
+if mode == "self":
+    old, new = rows(old_path, "baseline"), rows(new_path, "optimized")
+    what = f"optimized vs baseline within {new_path}"
+else:
+    old, new = rows(old_path, "optimized"), rows(new_path, "optimized")
+    what = f"{old_path} vs {new_path} (optimized rows)"
+
+common = sorted(set(old) & set(new))
+if not common:
+    sys.exit(f"no comparable rows: {what}")
+
+failures = []
+for key in common:
+    mix, threads = key
+    delta = new[key] / old[key] - 1.0
+    status = "OK"
+    if delta < -thresh_pct / 100.0:
+        status = "REGRESSION"
+        failures.append(key)
+    print(
+        f"{status:>10}  {mix:<16} TT={threads}: "
+        f"{old[key]:.3f} -> {new[key]:.3f} Mops/s ({delta:+.1%})"
+    )
+
+if failures:
+    sys.exit(f"{len(failures)} row(s) regressed more than {thresh_pct:.0f}% ({what})")
+print(f"{len(common)} row(s) compared ({what}), none regressed more than {thresh_pct:.0f}%")
+EOF

@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Short update-heavy before/after benchmark of the propagate hot path.
-# Writes BENCH_PR1.json (throughput + work-counter averages for the
-# baseline and optimized hot paths) to the repo root.
+# Short before/after benchmark of the hot paths across workload mixes.
+# Writes BENCH_PR<n>.json to the repo root. <n> defaults to one past the
+# highest committed trajectory point, so a plain run always *adds* a
+# point and can never silently overwrite recorded perf history; set
+# BENCH_PR=<n> explicitly to regenerate an existing point.
 #
-# Usage: scripts/bench_smoke.sh [extra bench_pr1 args...]
+# Usage: [BENCH_PR=<n>] scripts/bench_smoke.sh [extra bench_pr2 args...]
+#   scripts/bench_smoke.sh                      # writes BENCH_PR<latest+1>.json
+#   BENCH_PR=2 scripts/bench_smoke.sh           # regenerates BENCH_PR2.json
+#   scripts/bench_smoke.sh --out custom.json    # explicit output file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+latest=$(ls BENCH_PR*.json 2>/dev/null | sed -E 's/^BENCH_PR([0-9]+)\.json$/\1/' | sort -n | tail -1)
+PR="${BENCH_PR:-$(( ${latest:-0} + 1 ))}"
 cargo build --release -p bench
-cargo run --release -p bench --bin bench_pr1 -- \
-    --threads 1,2,4,8 --duration-ms 800 --trials 5 --max-key 32768 \
-    --out BENCH_PR1.json "$@"
+cargo run --release -p bench --bin bench_pr2 -- \
+    --pr "$PR" --threads 1,2,4,8 --duration-ms 600 --trials 3 --max-key 32768 \
+    "$@"

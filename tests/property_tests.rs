@@ -1,86 +1,89 @@
-//! Property-based tests (proptest): sequential op sequences against
-//! `BTreeMap`/`BTreeSet` oracles for every tree in the workspace, plus
-//! structural and query invariants.
-
-#![cfg(feature = "proptest")]
+//! Property-based tests: random op sequences against `BTreeMap`/`BTreeSet`
+//! oracles for every tree in the workspace, plus structural and query
+//! invariants.
+//!
+//! Driven by the deterministic xorshift generator from `workloads::rng`
+//! (not the external `proptest` crate, which this environment does not
+//! vendor): every case derives from a fixed seed, so the suite runs
+//! unconditionally and failures reproduce exactly.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use proptest::prelude::*;
-
+use cbat::workloads::Xorshift;
 use cbat::{BatMap, BatSet, DelegationPolicy, SumAug};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert(u16, u16),
-    Remove(u16),
-    Contains(u16),
-    Rank(u16),
-    Select(u16),
-    RangeCount(u16, u16),
-    RangeSum(u16, u16),
+    Insert(u64, u64),
+    Remove(u64),
+    Contains(u64),
+    Rank(u64),
+    Select(u64),
+    RangeCount(u64, u64),
+    RangeSum(u64, u64),
     Len,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u16>(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
-        any::<u16>().prop_map(|k| Op::Remove(k % 512)),
-        any::<u16>().prop_map(|k| Op::Contains(k % 512)),
-        any::<u16>().prop_map(|k| Op::Rank(k % 512)),
-        any::<u16>().prop_map(Op::Select),
-        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::RangeCount(a % 512, b % 512)),
-        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::RangeSum(a % 512, b % 512)),
-        Just(Op::Len),
-    ]
+fn random_op(rng: &mut Xorshift) -> Op {
+    match rng.below(8) {
+        0 => Op::Insert(rng.below(512), rng.below(1 << 16)),
+        1 => Op::Remove(rng.below(512)),
+        2 => Op::Contains(rng.below(512)),
+        3 => Op::Rank(rng.below(512)),
+        4 => Op::Select(rng.below(1 << 16)),
+        5 => Op::RangeCount(rng.below(512), rng.below(512)),
+        6 => Op::RangeSum(rng.below(512), rng.below(512)),
+        _ => Op::Len,
+    }
+}
+
+fn random_ops(seed: u64, max_len: u64) -> Vec<Op> {
+    let mut rng = Xorshift::new(seed);
+    let len = 1 + rng.below(max_len) as usize;
+    (0..len).map(|_| random_op(&mut rng)).collect()
 }
 
 fn oracle_rank(oracle: &BTreeMap<u64, u64>, k: u64) -> u64 {
     oracle.range(..=k).count() as u64
 }
 
-fn check_sequence(map: &BatMap<u64, u64, SumAug>, ops: &[Op]) -> Result<(), TestCaseError> {
+fn check(map: &BatMap<u64, u64, SumAug>, ops: &[Op]) {
     let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
     for op in ops {
         match *op {
             Op::Insert(k, v) => {
-                let (k, v) = (k as u64, v as u64);
                 let expect = !oracle.contains_key(&k);
                 if expect {
                     oracle.insert(k, v);
                 }
-                prop_assert_eq!(map.insert(k, v), expect);
+                assert_eq!(map.insert(k, v), expect);
             }
             Op::Remove(k) => {
-                let k = k as u64;
-                prop_assert_eq!(map.remove(&k), oracle.remove(&k).is_some());
+                assert_eq!(map.remove(&k), oracle.remove(&k).is_some());
             }
             Op::Contains(k) => {
-                let k = k as u64;
-                prop_assert_eq!(map.contains(&k), oracle.contains_key(&k));
-                prop_assert_eq!(map.get(&k), oracle.get(&k).copied());
+                assert_eq!(map.contains(&k), oracle.contains_key(&k));
+                assert_eq!(map.get(&k), oracle.get(&k).copied());
             }
             Op::Rank(k) => {
-                let k = k as u64;
-                prop_assert_eq!(map.rank(&k), oracle_rank(&oracle, k));
+                assert_eq!(map.rank(&k), oracle_rank(&oracle, k));
             }
             Op::Select(i) => {
-                let i = i as u64;
                 let expect = oracle.iter().nth(i as usize).map(|(k, v)| (*k, *v));
-                prop_assert_eq!(map.select(i), expect);
+                assert_eq!(map.select(i), expect);
             }
             Op::RangeCount(a, b) => {
-                let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                let (lo, hi) = (a.min(b), a.max(b));
                 let expect = oracle.range(lo..=hi).count() as u64;
-                prop_assert_eq!(map.range_count(&lo, &hi), expect);
+                assert_eq!(map.range_count(&lo, &hi), expect);
             }
             Op::RangeSum(a, b) => {
-                let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                let (lo, hi) = (a.min(b), a.max(b));
                 let expect: u64 = oracle.range(lo..=hi).map(|(_, v)| *v).sum();
-                prop_assert_eq!(map.range_aggregate(&lo, &hi), expect);
+                assert_eq!(map.range_aggregate(&lo, &hi), expect);
             }
             Op::Len => {
-                prop_assert_eq!(map.len(), oracle.len() as u64);
+                assert_eq!(map.len(), oracle.len() as u64);
             }
         }
     }
@@ -88,120 +91,116 @@ fn check_sequence(map: &BatMap<u64, u64, SumAug>, ops: &[Op]) -> Result<(), Test
     let snap = map.snapshot();
     let got: Vec<(u64, u64)> = snap.iter().collect();
     let want: Vec<(u64, u64)> = oracle.into_iter().collect();
-    prop_assert_eq!(got, want);
-    Ok(())
+    assert_eq!(got, want);
 }
 
-// Alias kept for readability at call sites.
-fn check(map: &BatMap<u64, u64, SumAug>, ops: &[Op]) -> Result<(), TestCaseError> {
-    check_sequence(map, ops)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn bat_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn bat_matches_btreemap() {
+    for case in 0..48u64 {
         let map = BatMap::<u64, u64, SumAug>::new();
-        check(&map, &ops)?;
-        map.node_tree().validate(true).expect("chromatic invariants");
+        check(&map, &random_ops(0xBA7_0001 ^ case, 300));
+        map.node_tree()
+            .validate(true)
+            .expect("chromatic invariants");
     }
+}
 
-    #[test]
-    fn bat_del_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn bat_del_matches_btreemap() {
+    for case in 0..32u64 {
         let map = BatMap::<u64, u64, SumAug>::with_policy(DelegationPolicy::Del {
             timeout: Some(std::time::Duration::from_millis(1)),
         });
-        check(&map, &ops)?;
+        check(&map, &random_ops(0xBA7_0002 ^ case, 200));
     }
+}
 
-    #[test]
-    fn frbst_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn frbst_matches_btreemap() {
+    for case in 0..32u64 {
         let map = BatMap::<u64, u64, SumAug>::new_unbalanced();
-        check(&map, &ops)?;
+        check(&map, &random_ops(0xBA7_0003 ^ case, 200));
     }
+}
 
-    #[test]
-    fn bulk_build_equals_incremental(
-        keys in proptest::collection::btree_set(any::<u16>(), 0..400)
-    ) {
-        let pairs: Vec<(u64, u64)> =
-            keys.iter().map(|&k| (k as u64, k as u64 * 3)).collect();
+#[test]
+fn bulk_build_equals_incremental() {
+    for case in 0..24u64 {
+        let mut rng = Xorshift::new(0xBA7_0004 ^ case);
+        let n = rng.below(400);
+        let keys: BTreeSet<u64> = (0..n).map(|_| rng.below(1 << 16)).collect();
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 3)).collect();
         let bulk = BatMap::<u64, u64>::bulk_build(pairs.clone());
         let inc = BatMap::<u64, u64>::new();
         for (k, v) in &pairs {
             inc.insert(*k, *v);
         }
-        prop_assert_eq!(bulk.len(), inc.len());
-        prop_assert_eq!(bulk.snapshot().keys(), inc.snapshot().keys());
+        assert_eq!(bulk.len(), inc.len());
+        assert_eq!(bulk.snapshot().keys(), inc.snapshot().keys());
         for (k, _) in pairs.iter().take(32) {
-            prop_assert_eq!(bulk.rank(k), inc.rank(k));
-            prop_assert_eq!(bulk.get(k), inc.get(k));
+            assert_eq!(bulk.rank(k), inc.rank(k));
+            assert_eq!(bulk.get(k), inc.get(k));
         }
-        bulk.node_tree().validate(true).expect("bulk chromatic invariants");
+        bulk.node_tree()
+            .validate(true)
+            .expect("bulk chromatic invariants");
     }
+}
 
-    #[test]
-    fn vcas_matches_btreeset(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn vcas_matches_btreeset() {
+    for case in 0..32u64 {
         let set = cbat::vcas::VcasSet::new();
         let mut oracle: BTreeSet<u64> = BTreeSet::new();
-        for op in &ops {
+        for op in &random_ops(0xBA7_0005 ^ case, 200) {
             match *op {
                 Op::Insert(k, _) => {
-                    let k = k as u64;
-                    prop_assert_eq!(set.insert(k), oracle.insert(k));
+                    assert_eq!(set.insert(k), oracle.insert(k));
                 }
                 Op::Remove(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(set.remove(k), oracle.remove(&k));
+                    assert_eq!(set.remove(k), oracle.remove(&k));
                 }
                 Op::Contains(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(set.contains(k), oracle.contains(&k));
+                    assert_eq!(set.contains(k), oracle.contains(&k));
                 }
                 Op::RangeCount(a, b) => {
-                    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+                    let (lo, hi) = (a.min(b), a.max(b));
                     let snap = set.snapshot();
-                    prop_assert_eq!(
+                    assert_eq!(
                         snap.range_count(lo, hi),
                         oracle.range(lo..=hi).count() as u64
                     );
                 }
                 Op::Rank(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(
-                        set.snapshot().rank(k),
-                        oracle.range(..=k).count() as u64
-                    );
+                    assert_eq!(set.snapshot().rank(k), oracle.range(..=k).count() as u64);
                 }
                 _ => {}
             }
         }
         let want: Vec<u64> = oracle.iter().copied().collect();
-        prop_assert_eq!(set.snapshot().range_collect(0, u64::MAX - 2), want);
+        assert_eq!(set.snapshot().range_collect(0, u64::MAX - 2), want);
     }
+}
 
-    #[test]
-    fn fanout_matches_btreeset(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+#[test]
+fn fanout_matches_btreeset() {
+    for case in 0..32u64 {
         let set = cbat::fanout::FanoutSet::new();
         let mut oracle: BTreeSet<u64> = BTreeSet::new();
-        for op in &ops {
+        for op in &random_ops(0xBA7_0006 ^ case, 250) {
             match *op {
                 Op::Insert(k, _) => {
-                    let k = k as u64;
-                    prop_assert_eq!(set.insert(k), oracle.insert(k));
+                    assert_eq!(set.insert(k), oracle.insert(k));
                 }
                 Op::Remove(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(set.remove(k), oracle.remove(&k));
+                    assert_eq!(set.remove(k), oracle.remove(&k));
                 }
                 Op::Contains(k) => {
-                    let k = k as u64;
-                    prop_assert_eq!(set.contains(k), oracle.contains(&k));
+                    assert_eq!(set.contains(k), oracle.contains(&k));
                 }
                 Op::RangeCount(a, b) => {
-                    let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
-                    prop_assert_eq!(
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    assert_eq!(
                         set.snapshot().range_count(lo, hi),
                         oracle.range(lo..=hi).count() as u64
                     );
@@ -210,63 +209,75 @@ proptest! {
             }
         }
         let want: Vec<u64> = oracle.iter().copied().collect();
-        prop_assert_eq!(set.snapshot().range_collect(0, u64::MAX), want);
+        assert_eq!(set.snapshot().range_collect(0, u64::MAX), want);
     }
+}
 
-    #[test]
-    fn chromatic_invariants_hold_for_any_sequence(
-        ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..400)
-    ) {
+#[test]
+fn chromatic_invariants_hold_for_any_sequence() {
+    for case in 0..32u64 {
+        let mut rng = Xorshift::new(0xBA7_0007 ^ case);
+        let len = 1 + rng.below(400);
         let set = cbat::chromatic::ChromaticSet::<u64>::new();
         let mut oracle = BTreeSet::new();
-        for (k, ins) in &ops {
-            let k = (*k % 256) as u64;
-            if *ins {
-                prop_assert_eq!(set.insert(k), oracle.insert(k));
+        for _ in 0..len {
+            let k = rng.below(256);
+            if rng.below(2) == 0 {
+                assert_eq!(set.insert(k), oracle.insert(k));
             } else {
-                prop_assert_eq!(set.remove(&k), oracle.remove(&k));
+                assert_eq!(set.remove(&k), oracle.remove(&k));
             }
         }
         let shape = set.tree().validate(true).expect("invariants");
-        prop_assert_eq!(shape.keys, oracle.len());
+        assert_eq!(shape.keys, oracle.len());
         let want: Vec<u64> = oracle.iter().copied().collect();
-        prop_assert_eq!(set.collect_keys(), want);
+        assert_eq!(set.collect_keys(), want);
     }
+}
 
-    #[test]
-    fn rank_select_duality(keys in proptest::collection::btree_set(any::<u16>(), 1..200)) {
+#[test]
+fn rank_select_duality() {
+    for case in 0..24u64 {
+        let mut rng = Xorshift::new(0xBA7_0008 ^ case);
+        let keys: BTreeSet<u64> = (0..1 + rng.below(200))
+            .map(|_| rng.below(1 << 16))
+            .collect();
         let set = BatSet::<u64>::new();
         for &k in &keys {
-            set.insert(k as u64);
+            set.insert(k);
         }
         let n = set.len();
-        prop_assert_eq!(n, keys.len() as u64);
+        assert_eq!(n, keys.len() as u64);
         let snap = set.snapshot();
         for i in 0..n {
             let k = snap.select(i).map(|(k, _)| k).unwrap();
-            prop_assert_eq!(snap.rank(&k), i + 1);
-            prop_assert_eq!(snap.rank_exclusive(&k), i);
+            assert_eq!(snap.rank(&k), i + 1);
+            assert_eq!(snap.rank_exclusive(&k), i);
         }
     }
+}
 
-    #[test]
-    fn snapshot_frozen_under_any_later_ops(
-        initial in proptest::collection::btree_set(any::<u16>(), 1..100),
-        later in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..100),
-    ) {
+#[test]
+fn snapshot_frozen_under_any_later_ops() {
+    for case in 0..24u64 {
+        let mut rng = Xorshift::new(0xBA7_0009 ^ case);
+        let initial: BTreeSet<u64> = (0..1 + rng.below(100))
+            .map(|_| rng.below(1 << 16))
+            .collect();
         let set = BatSet::<u64>::new();
         for &k in &initial {
-            set.insert(k as u64);
+            set.insert(k);
         }
         let snap = set.snapshot();
-        for (k, ins) in &later {
-            if *ins {
-                set.insert(*k as u64);
+        for _ in 0..1 + rng.below(100) {
+            let k = rng.below(1 << 16);
+            if rng.below(2) == 0 {
+                set.insert(k);
             } else {
-                set.remove(&(*k as u64));
+                set.remove(&k);
             }
         }
-        let want: Vec<u64> = initial.iter().map(|&k| k as u64).collect();
-        prop_assert_eq!(snap.keys(), want);
+        let want: Vec<u64> = initial.iter().copied().collect();
+        assert_eq!(snap.keys(), want);
     }
 }
