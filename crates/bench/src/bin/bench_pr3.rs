@@ -1,0 +1,341 @@
+//! `bench_pr3` — the PR 3 sweep: everything `bench_pr2` tracked, plus the
+//! scenarios this PR adds.
+//!
+//! 1. **BAT mixes** (trajectory continuity): the three PR 2 scenario mixes
+//!    × baseline/optimized hot path × thread counts, so
+//!    `scripts/bench_compare.sh` can diff `BENCH_PR2.json` against this
+//!    file point-for-point. Rows now also carry sampled update-latency
+//!    p50/p99 (Fig. 9 groundwork).
+//! 2. **Contended writers** (the tentpole's acceptance gate): disjoint
+//!    per-thread key slices, 50i-50d, on the fanout tree — `baseline` =
+//!    [`bench::SingleRootFanoutAdapter`] (whole-path COW, one root CAS),
+//!    `optimized` = [`bench::FanoutAdapter`] (per-subtree versioned
+//!    edges). The EBR pools are enabled for *both*, so the measured gap is
+//!    purely the publication scheme.
+//! 3. **Zipf / sorted-stream scenarios** (ROADMAP): the mixed mix under
+//!    Zipf(0.95) keys and the Fig. 5b sorted counter stream, on BAT.
+//! 4. **Adapter sweep**: every adapter × every mix × every distribution —
+//!    completing the loop asserts no scenario panics on any adapter.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_pr3 -- \
+//!     [--pr 3] [--threads 1,2,4,8] [--duration-ms 500] [--trials 3] \
+//!     [--max-key 32768] [--out BENCH_PR<pr>.json]
+//! ```
+
+use std::time::Duration;
+
+use bench::{full_lineup, BatAdapter, FanoutAdapter, SingleRootFanoutAdapter};
+use workloads::{BenchSet, KeyDist, OpMix, QueryKind, RunConfig, RunResult};
+
+/// The scenario mixes shared with `bench_pr2` (name, paper-style mix
+/// string, shares in percent: insert-delete-find-query).
+const MIXES: [(&str, &str, [u32; 4]); 3] = [
+    ("update-heavy", "50i-50d-0f-0rq", [50, 50, 0, 0]),
+    ("mixed", "25i-25d-40f-10rq", [25, 25, 40, 10]),
+    ("query-heavy", "5i-5d-60f-30rq", [5, 5, 60, 30]),
+];
+
+struct Opts {
+    pr: u32,
+    threads: Vec<usize>,
+    duration: Duration,
+    trials: usize,
+    max_key: u64,
+    out: Option<String>,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let mut o = Opts {
+            pr: 3,
+            threads: vec![1, 2, 4, 8],
+            duration: Duration::from_millis(500),
+            trials: 3,
+            max_key: 1 << 15,
+            out: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut val = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match a.as_str() {
+                "--pr" => o.pr = val("--pr").parse().expect("pr number"),
+                "--threads" => {
+                    o.threads = val("--threads")
+                        .split(',')
+                        .map(|t| t.parse().expect("thread count"))
+                        .collect();
+                }
+                "--duration-ms" => {
+                    o.duration = Duration::from_millis(val("--duration-ms").parse().expect("ms"));
+                }
+                "--trials" => o.trials = val("--trials").parse().expect("trials"),
+                "--max-key" => o.max_key = val("--max-key").parse().expect("max key"),
+                "--out" => o.out = Some(val("--out")),
+                other => panic!("unknown option {other}"),
+            }
+        }
+        assert!(
+            !o.threads.is_empty() && o.threads.iter().all(|&t| t >= 1),
+            "--threads needs a comma-separated list of counts >= 1"
+        );
+        assert!(o.trials >= 1, "--trials must be >= 1");
+        o
+    }
+
+    fn out(&self) -> String {
+        self.out
+            .clone()
+            .unwrap_or_else(|| format!("BENCH_PR{}.json", self.pr))
+    }
+}
+
+fn config(opts: &Opts, mix: [u32; 4], threads: usize, trial: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(threads, opts.max_key);
+    cfg.mix = OpMix::percent(mix[0], mix[1], mix[2], mix[3]);
+    cfg.query = QueryKind::RangeCount { size: 100 };
+    cfg.dist = KeyDist::Uniform;
+    cfg.duration = opts.duration;
+    cfg.seed = 0x00BE_9C42 ^ (trial as u64) << 32 ^ threads as u64;
+    cfg
+}
+
+struct Row {
+    mix: String,
+    mode: &'static str,
+    threads: usize,
+    mops: f64,
+    upd_p50_ns: f64,
+    upd_p99_ns: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"mix\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"mops\": {:.6}, \
+             \"upd_p50_ns\": {:.0}, \"upd_p99_ns\": {:.0}}}",
+            self.mix, self.mode, self.threads, self.mops, self.upd_p50_ns, self.upd_p99_ns
+        )
+    }
+}
+
+/// Best-of-`trials` throughput for one (set-builder, cfg) point.
+fn best_of(
+    opts: &Opts,
+    label: &str,
+    mode: &'static str,
+    threads: usize,
+    make_set: impl Fn() -> Box<dyn BenchSet>,
+    make_cfg: impl Fn(usize) -> RunConfig,
+) -> (f64, RunResult) {
+    let mut best = RunResult::default();
+    let mut best_mops = 0.0f64;
+    for trial in 0..opts.trials {
+        let set = make_set();
+        let r = workloads::run(set.as_ref(), &make_cfg(trial));
+        eprintln!(
+            "  {label:>18} {mode:>9} TT={threads} trial {trial}: {:.3} Mops/s (upd p50 {:.0} ns)",
+            r.mops(),
+            r.update_p50_ns
+        );
+        if r.mops() > best_mops {
+            best_mops = r.mops();
+            best = r;
+        }
+        ebr::flush();
+    }
+    (best_mops, best)
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- 1. BAT mixes, baseline first (cold pools cannot flatter it). ---
+    for &mode in &["baseline", "optimized"] {
+        eprintln!("== BAT {mode} hot path ==");
+        cbat_core::hotpath::set_baseline(mode == "baseline");
+        for mix in &MIXES {
+            for &tt in &opts.threads {
+                let (mops, r) = best_of(
+                    &opts,
+                    mix.0,
+                    mode,
+                    tt,
+                    || Box::new(BatAdapter::plain()),
+                    |trial| config(&opts, mix.2, tt, trial),
+                );
+                rows.push(Row {
+                    mix: mix.1.to_string(),
+                    mode,
+                    threads: tt,
+                    mops,
+                    upd_p50_ns: r.update_p50_ns,
+                    upd_p99_ns: r.update_p99_ns,
+                });
+            }
+        }
+    }
+    cbat_core::hotpath::set_baseline(false);
+
+    let mut gains = Vec::new();
+    for (_, mix, _) in &MIXES {
+        for &tt in &opts.threads {
+            let at = |mode: &str| {
+                rows.iter()
+                    .find(|r| r.mode == mode && r.mix == *mix && r.threads == tt)
+                    .expect("swept row")
+                    .mops
+            };
+            let (base, opt) = (at("baseline"), at("optimized"));
+            let gain = opt / base - 1.0;
+            eprintln!(
+                "{mix} TT={tt}: baseline {base:.3} -> optimized {opt:.3} Mops/s ({:+.1}%)",
+                gain * 100.0
+            );
+            gains.push(format!(
+                "    {{\"mix\": \"{mix}\", \"threads\": {tt}, \"gain\": {gain:.4}}}"
+            ));
+        }
+    }
+
+    // --- 2. Contended writers: single-root CAS vs versioned edges. ---
+    eprintln!("== contended-writers: fanout publication schemes ==");
+    let contended_cfg = |opts: &Opts, tt: usize, trial: usize| {
+        let mut cfg = config(opts, [50, 50, 0, 0], tt, trial);
+        cfg.dist = KeyDist::Disjoint;
+        cfg
+    };
+    let mut fanout_gains = Vec::new();
+    for &tt in &opts.threads {
+        let (base, rb) = best_of(
+            &opts,
+            "contended-writers",
+            "baseline",
+            tt,
+            || Box::new(SingleRootFanoutAdapter::new()),
+            |trial| contended_cfg(&opts, tt, trial),
+        );
+        let (opt, ro) = best_of(
+            &opts,
+            "contended-writers",
+            "optimized",
+            tt,
+            || Box::new(FanoutAdapter::new()),
+            |trial| contended_cfg(&opts, tt, trial),
+        );
+        for (mode, mops, r) in [("baseline", base, rb), ("optimized", opt, ro)] {
+            rows.push(Row {
+                mix: "contended-writers".to_string(),
+                mode,
+                threads: tt,
+                mops,
+                upd_p50_ns: r.update_p50_ns,
+                upd_p99_ns: r.update_p99_ns,
+            });
+        }
+        let gain = opt / base - 1.0;
+        eprintln!(
+            "contended-writers TT={tt}: single-root {base:.3} -> versioned-edges {opt:.3} Mops/s ({:+.1}%)",
+            gain * 100.0
+        );
+        fanout_gains.push(format!(
+            "    {{\"threads\": {tt}, \"single_root_mops\": {base:.6}, \
+             \"versioned_mops\": {opt:.6}, \"gain\": {gain:.4}}}"
+        ));
+    }
+
+    // --- 3. Zipf and sorted-stream scenario points (ROADMAP). ---
+    eprintln!("== key-distribution scenarios (BAT, optimized) ==");
+    for (name, dist, prefill) in [
+        ("zipf-0.95", KeyDist::Zipf(0.95), true),
+        ("sorted-stream", KeyDist::Sorted, false),
+    ] {
+        for &tt in &opts.threads {
+            let (mops, r) = best_of(
+                &opts,
+                name,
+                "optimized",
+                tt,
+                || Box::new(BatAdapter::plain()),
+                |trial| {
+                    let mut cfg = config(&opts, [25, 25, 40, 10], tt, trial);
+                    cfg.dist = dist;
+                    cfg.prefill = prefill;
+                    cfg
+                },
+            );
+            rows.push(Row {
+                mix: name.to_string(),
+                mode: "optimized",
+                threads: tt,
+                mops,
+                upd_p50_ns: r.update_p50_ns,
+                upd_p99_ns: r.update_p99_ns,
+            });
+        }
+    }
+
+    // --- 4. Adapter sweep: every adapter × mix × distribution. ---
+    // Completing this loop is itself the assertion that no scenario
+    // panics on any adapter.
+    eprintln!("== adapter sweep ==");
+    let mut sweep = Vec::new();
+    for mix in &MIXES {
+        for (dist_name, dist) in [
+            ("uniform", KeyDist::Uniform),
+            ("zipf-0.95", KeyDist::Zipf(0.95)),
+            ("disjoint", KeyDist::Disjoint),
+        ] {
+            for set in full_lineup() {
+                let mut cfg = config(&opts, mix.2, opts.threads[0].max(2), 0);
+                cfg.dist = dist;
+                cfg.duration = opts.duration.min(Duration::from_millis(150));
+                let r = workloads::run(set.as_ref(), &cfg);
+                assert!(
+                    r.total_ops > 0,
+                    "{} did no work on {}/{dist_name}",
+                    set.name(),
+                    mix.0
+                );
+                sweep.push(format!(
+                    "    {{\"adapter\": \"{}\", \"mix\": \"{}\", \"dist\": \"{dist_name}\", \
+                     \"mops\": {:.6}}}",
+                    set.name(),
+                    mix.1,
+                    r.mops()
+                ));
+                ebr::flush();
+            }
+        }
+        eprintln!("  {:>12}: all adapters x all dists ok", mix.0);
+    }
+
+    let json_rows: Vec<String> = rows.iter().map(Row::json).collect();
+    let json = format!(
+        "{{\n  \"pr\": {},\n  \"title\": \"per-subtree versioned edges in fanout + scenario sweep\",\n  \
+         \"workload\": {{\"dist\": \"uniform\", \"max_key\": {}, \"prefill\": true, \
+         \"duration_ms\": {}, \"trials\": {}, \"structure\": \"BAT\", \"rq_size\": 100, \
+         \"host_cores\": {}}},\n  \
+         \"results\": [\n{}\n  ],\n  \"throughput_gain\": [\n{}\n  ],\n  \
+         \"fanout_contended_gain\": [\n{}\n  ],\n  \"adapter_sweep\": [\n{}\n  ]\n}}\n",
+        opts.pr,
+        opts.max_key,
+        opts.duration.as_millis(),
+        opts.trials,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        json_rows.join(",\n"),
+        gains.join(",\n"),
+        fanout_gains.join(",\n"),
+        sweep.join(",\n"),
+    );
+    let out = opts.out();
+    std::fs::write(&out, &json).expect("write json");
+    eprintln!("wrote {out}");
+    print!("{json}");
+}

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 
 use cbat_core::{BatSet, DelegationPolicy, SizeOnly};
 use chromatic::ChromaticSet;
-use fanout::FanoutSet;
+use fanout::{FanoutSet, SingleRootFanoutSet};
 use frbst::FrSet;
 use vcas::VcasSet;
 use workloads::{BenchSet, Capabilities};
@@ -199,62 +199,85 @@ impl BenchSet for VcasAdapter {
     }
 }
 
-/// Higher-fanout snapshot baseline (VerlibBTree stand-in).
-pub struct FanoutAdapter {
-    set: FanoutSet,
-    approx_size: AtomicI64,
+/// Both fanout trees expose the same set/snapshot API; one macro body
+/// serves the live adapter and the publication-scheme ablation.
+macro_rules! fanout_adapter {
+    ($(#[$doc:meta])* $adapter:ident, $set:ty, $name:literal) => {
+        $(#[$doc])*
+        pub struct $adapter {
+            set: $set,
+            approx_size: AtomicI64,
+        }
+
+        impl $adapter {
+            pub fn new() -> Self {
+                $adapter {
+                    set: <$set>::new(),
+                    approx_size: AtomicI64::new(0),
+                }
+            }
+        }
+
+        impl Default for $adapter {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl BenchSet for $adapter {
+            fn insert(&self, k: u64) -> bool {
+                let ok = self.set.insert(k);
+                if ok {
+                    self.approx_size.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
+            fn remove(&self, k: u64) -> bool {
+                let ok = self.set.remove(k);
+                if ok {
+                    self.approx_size.fetch_sub(1, Ordering::Relaxed);
+                }
+                ok
+            }
+            fn contains(&self, k: u64) -> bool {
+                self.set.contains(k)
+            }
+            fn range_count(&self, lo: u64, hi: u64) -> u64 {
+                self.set.snapshot().range_count(lo, hi)
+            }
+            fn rank(&self, k: u64) -> u64 {
+                self.set.snapshot().rank(k)
+            }
+            fn select(&self, i: u64) -> Option<u64> {
+                let snap = self.set.snapshot();
+                snap.range_collect(0, u64::MAX).into_iter().nth(i as usize)
+            }
+            fn size_hint(&self) -> u64 {
+                self.approx_size.load(Ordering::Relaxed).max(0) as u64
+            }
+            fn name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
 }
 
-impl FanoutAdapter {
-    pub fn new() -> Self {
-        FanoutAdapter {
-            set: FanoutSet::new(),
-            approx_size: AtomicI64::new(0),
-        }
-    }
-}
+fanout_adapter!(
+    /// Higher-fanout snapshot baseline (VerlibBTree stand-in).
+    FanoutAdapter,
+    FanoutSet,
+    "VerlibBTree*"
+);
 
-impl Default for FanoutAdapter {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl BenchSet for FanoutAdapter {
-    fn insert(&self, k: u64) -> bool {
-        let ok = self.set.insert(k);
-        if ok {
-            self.approx_size.fetch_add(1, Ordering::Relaxed);
-        }
-        ok
-    }
-    fn remove(&self, k: u64) -> bool {
-        let ok = self.set.remove(k);
-        if ok {
-            self.approx_size.fetch_sub(1, Ordering::Relaxed);
-        }
-        ok
-    }
-    fn contains(&self, k: u64) -> bool {
-        self.set.contains(k)
-    }
-    fn range_count(&self, lo: u64, hi: u64) -> u64 {
-        self.set.snapshot().range_count(lo, hi)
-    }
-    fn rank(&self, k: u64) -> u64 {
-        self.set.snapshot().rank(k)
-    }
-    fn select(&self, i: u64) -> Option<u64> {
-        let snap = self.set.snapshot();
-        snap.range_collect(0, u64::MAX).into_iter().nth(i as usize)
-    }
-    fn size_hint(&self) -> u64 {
-        self.approx_size.load(Ordering::Relaxed).max(0) as u64
-    }
-    fn name(&self) -> &'static str {
-        "VerlibBTree*"
-    }
-}
+fanout_adapter!(
+    /// The pre-PR 3 fanout tree (whole-path COW under one root CAS) — the
+    /// publication-scheme ablation `bench_pr3`'s contended-writers scenario
+    /// measures [`FanoutAdapter`] against. Pools and workloads are
+    /// identical; only the publication mechanism differs.
+    SingleRootFanoutAdapter,
+    SingleRootFanoutSet,
+    "VerlibBTree* (single-root)"
+);
 
 /// Unaugmented chromatic tree — the augmentation-overhead ablation (A2).
 /// Only point operations are meaningful; ordered queries are not supported
@@ -329,6 +352,7 @@ pub fn full_lineup() -> Vec<Box<dyn BenchSet>> {
     all.push(Box::new(BatAdapter::plain()));
     all.push(Box::new(BatAdapter::del()));
     all.push(Box::new(ChromaticAdapter::new()));
+    all.push(Box::new(SingleRootFanoutAdapter::new()));
     all
 }
 
@@ -356,6 +380,7 @@ mod tests {
         exercise(&FrAdapter::new());
         exercise(&VcasAdapter::new());
         exercise(&FanoutAdapter::new());
+        exercise(&SingleRootFanoutAdapter::new());
     }
 
     #[test]

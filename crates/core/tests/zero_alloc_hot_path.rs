@@ -1,7 +1,9 @@
-//! Counting-global-allocator proof of the PR 1 and PR 2 tentpoles: in
-//! steady state the *entire* update path — propagate (PR 1) **and** the
-//! structural node-tree modification including rebalancing (PR 2) —
-//! touches the global allocator **zero** times.
+//! Counting-global-allocator proof of the PR 1–3 tentpoles: in steady
+//! state the *entire* update path — propagate (PR 1), the structural
+//! node-tree modification including rebalancing (PR 2), **and** the
+//! fanout tree's versioned-edge publication (PR 3: pooled nodes, pooled
+//! version records, writer-driven version-list trimming) — touches the
+//! global allocator **zero** times.
 //!
 //! After warm-up (thread-local scratch vectors at capacity, EBR bag
 //! vectors recycled, `Node`/`Version`/`PropStatus` free-list pools
@@ -63,6 +65,7 @@ static ALLOC: CountingAlloc = CountingAlloc;
 fn steady_state_hot_paths_perform_zero_heap_allocations() {
     propagate_window();
     node_churn_window();
+    fanout_versioned_edge_window();
     baseline_mode_allocates_again();
 }
 
@@ -193,6 +196,67 @@ fn node_churn_window() {
     assert!(m.contains(&0));
     assert!(!m.contains(&1));
     assert!(m.contains(&1000));
+}
+
+/// PR 3 window: steady-state churn on the fanout tree's versioned-edge
+/// update path. Every update allocates a pooled leaf copy plus a pooled
+/// version record, publishes through LLX/SCX (immortal descriptors — no
+/// allocation), retires the replaced leaf, and trims the edge's version
+/// list back to one record; with the pools warm, a measured window of
+/// mixed inserts and removes — occasional split cascades included — must
+/// be served entirely from free-list hits.
+fn fanout_versioned_edge_window() {
+    let s = fanout::FanoutSet::new();
+    for k in 0..2048u64 {
+        s.insert(k);
+    }
+
+    let churn = |round: u64| {
+        for k in 0..512u64 {
+            if (k + round).is_multiple_of(2) {
+                s.remove(k);
+            } else {
+                s.insert(k);
+            }
+        }
+    };
+
+    // Warm-up: the exact loop we will measure, until the node and
+    // version-record pool classes and all per-thread scratch are stocked.
+    for round in 0..10u64 {
+        churn(round);
+    }
+    ebr::flush();
+
+    let (h0, m0, _) = ebr::pool::local_stats();
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    churn(10);
+    churn(11);
+    COUNTING.store(false, Ordering::SeqCst);
+    let (h1, m1, _) = ebr::pool::local_stats();
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "steady-state versioned-edge updates must not touch the global allocator"
+    );
+    assert!(
+        h1 > h0,
+        "window must be served by pool hits (hits {h0} -> {h1})"
+    );
+    assert_eq!(
+        m1 - m0,
+        0,
+        "no pool miss may fall through to malloc in the window"
+    );
+
+    // Sanity: contents match the parity round 11 ended on, and trimming
+    // kept the version chains flat.
+    assert!(s.contains(0));
+    assert!(!s.contains(1));
+    assert!(s.contains(2000));
+    assert!(s.debug_max_version_chain() <= 2);
 }
 
 /// Control: with `hotpath::set_baseline(true)` the pools are bypassed and

@@ -8,54 +8,84 @@
 //!   so point operations beat binary trees;
 //! * **O(1) snapshots** via versioned pointers ⇒ linearizable range
 //!   queries by snapshot traversal, costing Θ(log n + range);
-//! * **no augmentation** ⇒ rank/size queries must scan, Θ(#keys ≤ k).
+//! * **no augmentation** ⇒ rank/size queries must scan, Θ(#keys ≤ k);
+//! * **per-subtree publication** ⇒ updates on disjoint subtrees commit
+//!   concurrently instead of serializing on one root word.
 //!
-//! Mechanism: an immutable (copy-on-write) B-tree under a single atomic
-//! root pointer. Updates copy the root-to-leaf path (structurally sharing
-//! everything else) and publish with one CAS; readers snapshot by loading
-//! the root under an epoch guard. Replaced path nodes are epoch-retired.
+//! ## Mechanism: per-subtree versioned edges (PR 3 tentpole)
 //!
-//! **Allocation discipline (PR 2):** a node's key/separator/child arrays
-//! are stored *inline* at fixed capacity, so every [`BNode`] — leaf or
-//! internal — has one layout and is served by the layout-keyed EBR
-//! free-list pool (`ebr::pool`). A steady-state COW update therefore
-//! allocates its copied path entirely from recycled node memory and the
-//! retired path flows back to the pool after its grace period: zero global
-//! allocator traffic, exactly like the chromatic node tree. The path of
-//! replaced nodes is collected into a thread-local reusable buffer, so the
-//! update loop itself is allocation-free too. The pool honors
-//! `ebr::pool::set_enabled` (flipped by `cbat_core::hotpath::set_baseline`),
-//! so the before/after benchmarks can restore malloc'd nodes in-binary.
+//! Until PR 3 this tree was an immutable COW B-tree under a *single*
+//! atomic root pointer: every update copied the whole root-to-leaf path
+//! and published with one root `compare_exchange`, so all writers —
+//! however disjoint their keys — contended on one word (that scheme
+//! survives as [`single_root::SingleRootFanoutSet`], the benchmark
+//! ablation). Now every internal node's child slots are independently
+//! CAS-able **versioned edges** ([`vedge::VersionedEdge`]), the mechanism
+//! of Wei et al. (PPoPP 2021 \[33\]) that verlib generalizes:
 //!
-//! Substitution notes (DESIGN.md §2.5): verlib's versioned pointers allow
-//! disjoint updates to proceed without conflicting; our single root CAS
-//! serializes writers instead. On the single-core evaluation machine this
-//! difference is unobservable (no parallel speedup exists to lose), while
-//! the cache/fanout and snapshot cost properties — the ones the paper's
-//! figures exercise — are preserved. Deletions do not rebalance (no
-//! merging); persistent B-trees tolerate thin leaves with the same
-//! asymptotics.
+//! * an update copies only the nodes whose *contents* change — the leaf,
+//!   plus any ancestors a split cascade restructures — and publishes by
+//!   installing one new [`vedge::VersionRecord`] on the deepest edge
+//!   covering the change;
+//! * the publish is an LLX/SCX (\[6\]) that freezes the edge's holder and
+//!   finalizes every replaced internal node, so a concurrent update that
+//!   raced into a replaced subtree fails its own SCX and retries from the
+//!   root — updates under *different* parents share no frozen records and
+//!   commit concurrently;
+//! * snapshot readers grab a timestamp from the set's clock and traverse
+//!   every edge at that timestamp ([`vedge::VersionedEdge::read_at`]), so
+//!   a snapshot is one consistent cut even while edges all over the tree
+//!   keep moving — no torn multi-edge states.
+//!
+//! **Allocation discipline** (PR 1/2 invariant, preserved): nodes keep
+//! their arrays inline at fixed capacity (one `(size, align)` class) and
+//! come from the layout-keyed EBR pool, and version records are a second
+//! pooled class. After each publish the writer trims the edge's version
+//! list down to what live snapshots can still reach ([`vedge::trim`]), so
+//! a steady-state update allocates one pooled leaf + one pooled record
+//! and retires exactly as much: zero global-allocator traffic, proven by
+//! the counting-allocator window in `crates/core/tests/zero_alloc_hot_path.rs`.
+//!
+//! Substitution notes (DESIGN.md §2.5): verlib's lock-based versioned
+//! nodes are replaced by the workspace's LLX/SCX coordination (same
+//! conflict granularity: one frozen holder per publish). Deletions do not
+//! rebalance (no merging); persistent B-trees tolerate thin leaves with
+//! the same asymptotics. Version-list GC is the writer-driven trim above
+//! rather than \[33\]'s background scheme.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Maximum keys per leaf before splitting.
-const LEAF_CAP: usize = 16;
-/// Maximum children per internal node before splitting.
-const NODE_CAP: usize = 16;
+use llxscx::{llx, scx, InfoTag, Linked, Llx, RecordHeader, MAX_V};
+use vedge::{SnapRegistry, VersionRecord, VersionedEdge};
 
-/// A fixed-capacity copy-on-write tree node. Both variants carry their
-/// arrays inline so the whole enum is one `(size, align)` class for the
-/// EBR pool; `len` tracks the occupied prefix.
-enum BNode {
+pub mod single_root;
+pub use single_root::{SingleRootFanoutSet, SingleRootSnapshot};
+
+/// Maximum keys per leaf before splitting.
+pub(crate) const LEAF_CAP: usize = 16;
+/// Maximum children per internal node before splitting.
+pub(crate) const NODE_CAP: usize = 16;
+
+/// A fixed-capacity tree node behind an LLX/SCX record header. Leaf
+/// contents are immutable (leaves are replaced wholesale); an internal
+/// node's separators are immutable but its child `edges` are mutable
+/// versioned pointers. Both variants share one `(size, align)` class for
+/// the EBR pool.
+struct BNode {
+    header: RecordHeader,
+    body: Body,
+}
+
+enum Body {
     /// Sorted keys in `keys[..len]`.
     Leaf { len: u8, keys: [u64; LEAF_CAP] },
-    /// `children[..len]` are occupied; `seps[i]` is the smallest key
-    /// reachable under `children[i + 1]` (so `len - 1` separators).
+    /// `edges[..len]` are occupied; `seps[i]` is the smallest key
+    /// reachable under `edges[i + 1]` (so `len - 1` separators).
     Internal {
         len: u8,
         seps: [u64; NODE_CAP - 1],
-        children: [u64; NODE_CAP],
+        edges: [VersionedEdge; NODE_CAP],
     },
 }
 
@@ -65,29 +95,38 @@ impl BNode {
         debug_assert!(src.len() <= LEAF_CAP);
         let mut keys = [0u64; LEAF_CAP];
         keys[..src.len()].copy_from_slice(src);
-        Self::alloc(BNode::Leaf {
+        Self::alloc(Body::Leaf {
             len: src.len() as u8,
             keys,
         })
     }
 
-    /// Build an internal node from slices (`ch.len() <= NODE_CAP`,
-    /// `sp.len() == ch.len() - 1`).
+    /// Build an internal node over `ch` (`ch.len() <= NODE_CAP`,
+    /// `sp.len() == ch.len() - 1`), giving every child a fresh single
+    /// version record.
     fn internal(sp: &[u64], ch: &[u64]) -> u64 {
         debug_assert!(ch.len() <= NODE_CAP && sp.len() + 1 == ch.len());
         let mut seps = [0u64; NODE_CAP - 1];
-        let mut children = [0u64; NODE_CAP];
         seps[..sp.len()].copy_from_slice(sp);
-        children[..ch.len()].copy_from_slice(ch);
-        Self::alloc(BNode::Internal {
+        let edges = std::array::from_fn(|i| {
+            if i < ch.len() {
+                VersionedEdge::new(ch[i])
+            } else {
+                VersionedEdge::null()
+            }
+        });
+        Self::alloc(Body::Internal {
             len: ch.len() as u8,
             seps,
-            children,
+            edges,
         })
     }
 
-    fn alloc(self) -> u64 {
-        ebr::pool::alloc_pooled(self) as u64
+    fn alloc(body: Body) -> u64 {
+        ebr::pool::alloc_pooled(BNode {
+            header: RecordHeader::new(),
+            body,
+        }) as u64
     }
 
     #[inline]
@@ -98,47 +137,83 @@ impl BNode {
     /// The occupied key prefix (leaves only).
     #[inline]
     fn keys(&self) -> &[u64] {
-        match self {
-            BNode::Leaf { len, keys } => &keys[..*len as usize],
-            BNode::Internal { .. } => unreachable!("keys() on internal node"),
+        match &self.body {
+            Body::Leaf { len, keys } => &keys[..*len as usize],
+            Body::Internal { .. } => unreachable!("keys() on internal node"),
         }
     }
 
-    /// The occupied `(seps, children)` prefixes (internal nodes only).
+    /// `(seps, edges)` occupied prefixes (internal nodes only).
     #[inline]
-    fn fan(&self) -> (&[u64], &[u64]) {
-        match self {
-            BNode::Internal {
-                len,
-                seps,
-                children,
-            } => (&seps[..*len as usize - 1], &children[..*len as usize]),
-            BNode::Leaf { .. } => unreachable!("fan() on leaf node"),
+    fn fan(&self) -> (&[u64], &[VersionedEdge]) {
+        match &self.body {
+            Body::Internal { len, seps, edges } => {
+                (&seps[..*len as usize - 1], &edges[..*len as usize])
+            }
+            Body::Leaf { .. } => unreachable!("fan() on leaf node"),
         }
     }
+
+    /// Snapshot all occupied edge heads (LLX `read_fields` closure body).
+    #[inline]
+    fn read_heads(&self) -> [u64; NODE_CAP] {
+        let (_, edges) = self.fan();
+        let mut heads = [0u64; NODE_CAP];
+        for (h, e) in heads.iter_mut().zip(edges) {
+            *h = e.head();
+        }
+        heads
+    }
+}
+
+/// Reclamation callback for a (retired or never-published) node: version
+/// chains go back to the pool as records — never touching the children old
+/// versions point to, which are reclaimed by their own retirement — then
+/// the node memory itself is released.
+///
+/// # Safety
+/// `p` must come from [`BNode::alloc`] and be unreachable (post-grace for
+/// published nodes, or never published).
+unsafe fn free_node(p: *mut u8) {
+    let node = unsafe { &*(p as *const BNode) };
+    if let Body::Internal { len, edges, .. } = &node.body {
+        for e in &edges[..*len as usize] {
+            unsafe { vedge::dispose_chain(e.head()) };
+        }
+    }
+    unsafe { ebr::pool::dispose_pooled(p as *mut BNode) };
+}
+
+/// One step of the recorded search path: the edge we descended through.
+#[derive(Clone, Copy)]
+struct PathEntry {
+    /// Node owning the edge (0 = the set's root-edge anchor).
+    holder: u64,
+    /// Edge slot within the holder.
+    slot: usize,
+    /// Version-record head observed on the edge.
+    head: u64,
+    /// The child the head pointed to.
+    child: u64,
+}
+
+/// Per-thread reusable update scratch (capacities retained across
+/// updates: the retry loop allocates nothing of its own).
+struct Scratch {
+    path: Vec<PathEntry>,
+    fresh: Vec<u64>,
 }
 
 thread_local! {
-    /// Reusable buffer for the root-to-leaf path an update replaces
-    /// (capacity is retained across updates: no per-update allocation).
-    static REPLACED: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            path: Vec::new(),
+            fresh: Vec::new(),
+        })
+    };
 }
 
-/// The higher-fanout unaugmented set.
-pub struct FanoutSet {
-    root: AtomicU64,
-}
-
-unsafe impl Send for FanoutSet {}
-unsafe impl Sync for FanoutSet {}
-
-/// An O(1) snapshot: the root as of some instant, pinned by a guard.
-pub struct FanoutSnapshot {
-    root: u64,
-    _guard: ebr::Guard,
-}
-
-/// Result of a path-copying update attempt.
+/// Result of applying an update to one level of the tree.
 enum Updated {
     /// New subtree root.
     One(u64),
@@ -148,11 +223,46 @@ enum Updated {
     Noop,
 }
 
+/// The higher-fanout unaugmented set (see module docs).
+pub struct FanoutSet {
+    /// LLX/SCX record standing in for "the holder of the root edge": the
+    /// root publication freezes this instead of a parent node. Never
+    /// finalized.
+    anchor: RecordHeader,
+    root: VersionedEdge,
+    /// Snapshot clock (\[33\]): advanced only by snapshots, read by
+    /// stamping. Starts at 1 so 0 can mean "unstamped".
+    clock: AtomicU64,
+    /// Live-snapshot timestamps, bounding how far [`vedge::trim`] may cut.
+    snaps: SnapRegistry,
+}
+
+unsafe impl Send for FanoutSet {}
+unsafe impl Sync for FanoutSet {}
+
+/// An O(1) snapshot: a timestamp plus an epoch guard pinning the version
+/// chains; traversals read every edge as of that timestamp.
+pub struct FanoutSnapshot<'t> {
+    set: &'t FanoutSet,
+    root: u64,
+    ts: u64,
+    _guard: ebr::Guard,
+}
+
+impl Drop for FanoutSnapshot<'_> {
+    fn drop(&mut self) {
+        self.set.snaps.deregister();
+    }
+}
+
 impl FanoutSet {
     /// Empty set.
     pub fn new() -> Self {
         FanoutSet {
-            root: AtomicU64::new(BNode::leaf(&[])),
+            anchor: RecordHeader::new(),
+            root: VersionedEdge::new(BNode::leaf(&[])),
+            clock: AtomicU64::new(1),
+            snaps: SnapRegistry::new(),
         }
     }
 
@@ -167,166 +277,334 @@ impl FanoutSet {
     }
 
     fn update(&self, k: u64, insert: bool) -> bool {
-        REPLACED.with(|cell| {
-            let mut replaced = cell.borrow_mut();
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let scratch = &mut *scratch;
             loop {
                 let guard = ebr::pin();
-                let root = self.root.load(Ordering::Acquire);
-                replaced.clear();
-                let outcome = Self::update_rec(root, k, insert, &mut replaced);
-                let new_root = match outcome {
-                    Updated::Noop => return false,
-                    Updated::One(r) => r,
-                    Updated::Split(l, sep, r) => BNode::internal(&[sep], &[l, r]),
-                };
-                if self
-                    .root
-                    .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    for &raw in replaced.iter() {
-                        unsafe { ebr::pool::retire_pooled(&guard, raw as *mut BNode) };
+                scratch.path.clear();
+                scratch.fresh.clear();
+                match self.try_update(k, insert, &guard, &mut scratch.path, &mut scratch.fresh) {
+                    Some(added) => return added,
+                    None => {
+                        // The attempt lost a race: everything it allocated
+                        // is unpublished — straight back to the pool.
+                        for &raw in scratch.fresh.iter() {
+                            unsafe { free_node(raw as *mut u8) };
+                        }
                     }
-                    return true;
                 }
-                // Lost the race: free the unpublished copies and retry.
-                Self::dispose_new(new_root, &replaced);
             }
         })
     }
 
-    /// Recursively copy the path for an update. `replaced` collects the
-    /// old nodes to retire on success.
-    fn update_rec(raw: u64, k: u64, insert: bool, replaced: &mut Vec<u64>) -> Updated {
-        match unsafe { BNode::from_raw(raw) } {
-            node @ BNode::Leaf { .. } => {
-                let keys = node.keys();
-                match keys.binary_search(&k) {
-                    Ok(i) => {
-                        if insert {
-                            return Updated::Noop;
-                        }
-                        let mut new = [0u64; LEAF_CAP];
-                        new[..i].copy_from_slice(&keys[..i]);
-                        new[i..keys.len() - 1].copy_from_slice(&keys[i + 1..]);
-                        replaced.push(raw);
-                        Updated::One(BNode::leaf(&new[..keys.len() - 1]))
-                    }
-                    Err(i) => {
-                        if !insert {
-                            return Updated::Noop;
-                        }
-                        let mut new = [0u64; LEAF_CAP + 1];
-                        new[..i].copy_from_slice(&keys[..i]);
-                        new[i] = k;
-                        new[i + 1..keys.len() + 1].copy_from_slice(&keys[i..]);
-                        let n = keys.len() + 1;
-                        replaced.push(raw);
-                        if n <= LEAF_CAP {
-                            Updated::One(BNode::leaf(&new[..n]))
-                        } else {
-                            let mid = n / 2;
-                            Updated::Split(
-                                BNode::leaf(&new[..mid]),
-                                new[mid],
-                                BNode::leaf(&new[mid..n]),
-                            )
-                        }
-                    }
+    /// One update attempt. Returns `None` to retry (after the caller
+    /// disposes `fresh`); `Some(changed)` on completion.
+    fn try_update(
+        &self,
+        k: u64,
+        insert: bool,
+        guard: &ebr::Guard,
+        path: &mut Vec<PathEntry>,
+        fresh: &mut Vec<u64>,
+    ) -> Option<bool> {
+        // Phase 1: descend to the leaf, recording every edge traversed.
+        // Reads go through `VersionedEdge::read`, which stamps unstamped
+        // heads: once any operation *observes* a record, its timestamp is
+        // fixed at or below every later snapshot's — otherwise a record
+        // observed here could be stamped past a subsequent snapshot,
+        // which would then miss an update this op already acted on. (It
+        // also keeps prev-chains timestamp-monotone: the head we publish
+        // over is stamped before our record lands on top of it.)
+        let mut holder = 0u64;
+        let mut slot = 0usize;
+        let mut edge = &self.root;
+        let leaf = loop {
+            let (child, head) = edge.read(&self.clock);
+            path.push(PathEntry {
+                holder,
+                slot,
+                head,
+                child,
+            });
+            let node = unsafe { BNode::from_raw(child) };
+            match &node.body {
+                Body::Leaf { .. } => break node,
+                Body::Internal { len, seps, edges } => {
+                    let idx = seps[..*len as usize - 1].partition_point(|s| *s <= k);
+                    holder = child;
+                    slot = idx;
+                    edge = &edges[idx];
                 }
             }
-            node @ BNode::Internal { .. } => {
-                let (seps, children) = node.fan();
-                let idx = seps.partition_point(|s| *s <= k);
-                match Self::update_rec(children[idx], k, insert, replaced) {
-                    Updated::Noop => Updated::Noop,
-                    Updated::One(c) => {
-                        let mut ch = [0u64; NODE_CAP];
-                        ch[..children.len()].copy_from_slice(children);
-                        ch[idx] = c;
-                        replaced.push(raw);
-                        Updated::One(BNode::internal(seps, &ch[..children.len()]))
+        };
+
+        // Phase 2: the leaf patch (pure computation on immutable data).
+        let leaf_level = path.len() - 1;
+        let mut outcome = Self::apply_leaf(leaf, k, insert, fresh);
+        if matches!(outcome, Updated::Noop) {
+            return Some(false);
+        }
+
+        // Phase 3: cascade splits upward. Each level that must absorb a
+        // split gets LLXed (its edge heads are the copy's inputs — any
+        // later change freezes it and aborts our SCX) and is finalized by
+        // the publication so stragglers inside the replaced region fail.
+        let mut replaced: [(u64, InfoTag); MAX_V] = [(0, 0); MAX_V];
+        let mut n_replaced = 0usize;
+        let mut level = leaf_level;
+        let (new_top, pub_level) = loop {
+            match outcome {
+                Updated::Noop => unreachable!("noop handled above"),
+                Updated::One(n) => break (n, level),
+                Updated::Split(l, sep, r) => {
+                    if level == 0 {
+                        // The root itself split: grow the tree one level.
+                        let nr = BNode::internal(&[sep], &[l, r]);
+                        fresh.push(nr);
+                        break (nr, 0);
                     }
-                    Updated::Split(l, sep, r) => {
-                        let mut ch = [0u64; NODE_CAP + 1];
-                        let mut sp = [0u64; NODE_CAP];
-                        ch[..children.len()].copy_from_slice(children);
-                        sp[..seps.len()].copy_from_slice(seps);
-                        ch[idx] = l;
-                        ch.copy_within(idx + 1..children.len(), idx + 2);
-                        ch[idx + 1] = r;
-                        sp.copy_within(idx..seps.len(), idx + 1);
-                        sp[idx] = sep;
-                        let n = children.len() + 1;
-                        replaced.push(raw);
-                        if n <= NODE_CAP {
-                            Updated::One(BNode::internal(&sp[..n - 1], &ch[..n]))
-                        } else {
-                            // With `n` children there are `n - 1` seps:
-                            // left keeps mid children / mid - 1 seps, the
-                            // mid-th sep is promoted, the rest go right.
-                            let mid = n / 2;
-                            Updated::Split(
-                                BNode::internal(&sp[..mid - 1], &ch[..mid]),
-                                sp[mid - 1],
-                                BNode::internal(&sp[mid..n - 1], &ch[mid..n]),
-                            )
-                        }
+                    level -= 1;
+                    let parent_raw = path[level].child;
+                    let parent = unsafe { BNode::from_raw(parent_raw) };
+                    let Llx::Ok {
+                        info,
+                        snapshot: heads,
+                    } = llx(&parent.header, || parent.read_heads())
+                    else {
+                        return None;
+                    };
+                    // The child edge we descended must be what the copy
+                    // replaces; a changed head means our split inputs are
+                    // stale.
+                    if heads[path[level + 1].slot] != path[level + 1].head {
+                        return None;
                     }
+                    assert!(n_replaced + 2 <= MAX_V, "split cascade exceeds MAX_V");
+                    replaced[n_replaced] = (parent_raw, info);
+                    n_replaced += 1;
+                    outcome =
+                        Self::absorb_split(parent, &heads, path[level + 1].slot, l, sep, r, fresh);
+                }
+            }
+        };
+
+        // Phase 4: publish. Freeze the edge holder plus every replaced
+        // internal (patch-root-first), finalize the replaced ones, and CAS
+        // the publication edge to a new version record. The holder's LLX
+        // snapshot *must* be the CAS's expected value (SCX contract: a
+        // successful freeze certifies the field is unchanged since the
+        // LLX — the field CAS itself cannot fail except to a helper), so
+        // we re-validate the descent-time head against it.
+        let pub_entry = path[pub_level];
+        let (holder_header, pub_cell): (&RecordHeader, &AtomicU64) = if pub_entry.holder == 0 {
+            (&self.anchor, self.root.cell())
+        } else {
+            let h = unsafe { BNode::from_raw(pub_entry.holder) };
+            (&h.header, h.fan().1[pub_entry.slot].cell())
+        };
+        let Llx::Ok {
+            info: holder_info,
+            snapshot: holder_head,
+        } = llx(holder_header, || pub_cell.load(Ordering::Acquire))
+        else {
+            return None;
+        };
+        if holder_head != pub_entry.head {
+            return None;
+        }
+        let mut v = [Linked {
+            header: holder_header as *const RecordHeader,
+            info: holder_info,
+        }; MAX_V];
+        // Replaced internals were collected bottom-up; freeze top-down.
+        for (i, &(raw, info)) in replaced[..n_replaced].iter().rev().enumerate() {
+            v[i + 1] = Linked {
+                header: &unsafe { BNode::from_raw(raw) }.header as *const RecordHeader,
+                info,
+            };
+        }
+        let finalize_mask = ((1u64 << (n_replaced + 1)) - 1) & !1;
+        let pub_rec = VersionRecord::alloc(new_top, pub_entry.head);
+        let ok = unsafe {
+            scx(
+                &v[..n_replaced + 1],
+                finalize_mask,
+                pub_cell as *const AtomicU64,
+                pub_entry.head,
+                pub_rec,
+            )
+        };
+        if !ok {
+            // Never published; the record goes straight back to the pool
+            // (NOT as a chain: its prev is the live head).
+            unsafe { ebr::pool::dispose_pooled(pub_rec as *mut VersionRecord) };
+            return None;
+        }
+
+        // Committed: stamp before returning (so ops that finish before a
+        // later snapshot starts are always visible to it), retire the
+        // replaced path, and trim the edge's version list down to what
+        // live snapshots can still reach.
+        unsafe { VersionRecord::from_raw(pub_rec) }.stamp(&self.clock);
+        unsafe {
+            guard.retire_with(path[leaf_level].child as *mut u8, free_node);
+            for &(raw, _) in &replaced[..n_replaced] {
+                guard.retire_with(raw as *mut u8, free_node);
+            }
+        }
+        vedge::trim(guard, pub_rec, self.snaps.min_active(), &self.clock);
+        Some(true)
+    }
+
+    /// Compute the replacement leaf (or split pair) for an update.
+    fn apply_leaf(leaf: &BNode, k: u64, insert: bool, fresh: &mut Vec<u64>) -> Updated {
+        let keys = leaf.keys();
+        match keys.binary_search(&k) {
+            Ok(i) => {
+                if insert {
+                    return Updated::Noop;
+                }
+                let mut new = [0u64; LEAF_CAP];
+                new[..i].copy_from_slice(&keys[..i]);
+                new[i..keys.len() - 1].copy_from_slice(&keys[i + 1..]);
+                let n = BNode::leaf(&new[..keys.len() - 1]);
+                fresh.push(n);
+                Updated::One(n)
+            }
+            Err(i) => {
+                if !insert {
+                    return Updated::Noop;
+                }
+                let mut new = [0u64; LEAF_CAP + 1];
+                new[..i].copy_from_slice(&keys[..i]);
+                new[i] = k;
+                new[i + 1..keys.len() + 1].copy_from_slice(&keys[i..]);
+                let n = keys.len() + 1;
+                if n <= LEAF_CAP {
+                    let node = BNode::leaf(&new[..n]);
+                    fresh.push(node);
+                    Updated::One(node)
+                } else {
+                    let mid = n / 2;
+                    let l = BNode::leaf(&new[..mid]);
+                    let r = BNode::leaf(&new[mid..n]);
+                    fresh.push(l);
+                    fresh.push(r);
+                    Updated::Split(l, new[mid], r)
                 }
             }
         }
     }
 
-    /// Free the freshly allocated copies of a failed update. Old nodes
-    /// (in `replaced`) are shared with the live tree and must survive, as
-    /// must their children (the copies share subtrees with them). The
-    /// walk is recursive (depth = tree height) and tests sharing by
-    /// scanning the tiny `replaced` path, so a lost CAS allocates nothing.
-    fn dispose_new(new_root: u64, replaced: &[u64]) {
-        // A node reachable from new_root is shared with the live tree iff
-        // it is a replaced node itself or a child of one (structural
-        // sharing copies at most the search path).
-        fn is_shared(raw: u64, replaced: &[u64]) -> bool {
-            replaced.iter().any(|&r| {
-                r == raw
-                    || match unsafe { BNode::from_raw(r) } {
-                        node @ BNode::Internal { .. } => node.fan().1.contains(&raw),
-                        BNode::Leaf { .. } => false,
-                    }
-            })
+    /// Copy `parent` absorbing a split of its child at `slot`, reading the
+    /// other children from the LLX head snapshot.
+    fn absorb_split(
+        parent: &BNode,
+        heads: &[u64; NODE_CAP],
+        slot: usize,
+        l: u64,
+        sep: u64,
+        r: u64,
+        fresh: &mut Vec<u64>,
+    ) -> Updated {
+        let (seps, edges) = parent.fan();
+        let len = edges.len();
+        let mut ch = [0u64; NODE_CAP + 1];
+        let mut sp = [0u64; NODE_CAP];
+        for i in 0..len {
+            ch[i] = unsafe { VersionRecord::from_raw(heads[i]) }.child();
         }
-        fn rec(raw: u64, replaced: &[u64]) {
-            if is_shared(raw, replaced) {
-                return;
-            }
-            if let node @ BNode::Internal { .. } = unsafe { BNode::from_raw(raw) } {
-                for &c in node.fan().1 {
-                    rec(c, replaced);
-                }
-            }
-            unsafe { ebr::pool::dispose_pooled(raw as *mut BNode) };
+        sp[..seps.len()].copy_from_slice(seps);
+        ch[slot] = l;
+        ch.copy_within(slot + 1..len, slot + 2);
+        ch[slot + 1] = r;
+        sp.copy_within(slot..seps.len(), slot + 1);
+        sp[slot] = sep;
+        let n = len + 1;
+        if n <= NODE_CAP {
+            let node = BNode::internal(&sp[..n - 1], &ch[..n]);
+            fresh.push(node);
+            Updated::One(node)
+        } else {
+            // With `n` children there are `n - 1` seps: left keeps mid
+            // children / mid - 1 seps, the mid-th sep is promoted, the
+            // rest go right.
+            let mid = n / 2;
+            let left = BNode::internal(&sp[..mid - 1], &ch[..mid]);
+            let right = BNode::internal(&sp[mid..n - 1], &ch[mid..n]);
+            fresh.push(left);
+            fresh.push(right);
+            Updated::Split(left, sp[mid - 1], right)
         }
-        rec(new_root, replaced);
     }
 
-    /// Take an O(1) snapshot.
-    pub fn snapshot(&self) -> FanoutSnapshot {
+    /// Take an O(1) snapshot: a clock timestamp, announced so trimming
+    /// keeps every version it can read.
+    pub fn snapshot(&self) -> FanoutSnapshot<'_> {
         let guard = ebr::pin();
+        let ts = self.snaps.register(&self.clock);
+        let root = self.root.read_at(&self.clock, ts);
         FanoutSnapshot {
-            root: self.root.load(Ordering::Acquire),
+            set: self,
+            root,
+            ts,
             _guard: guard,
         }
     }
 
-    /// Linearizable membership.
+    /// Linearizable membership: descend the current edge heads, stamping
+    /// them (see the Phase-1 comment in `try_update`: an observed record
+    /// must be timestamped before a later snapshot can be taken).
     pub fn contains(&self, k: u64) -> bool {
-        self.snapshot().contains(k)
+        let _g = ebr::pin();
+        let mut raw = self.root.read(&self.clock).0;
+        loop {
+            let node = unsafe { BNode::from_raw(raw) };
+            match &node.body {
+                Body::Leaf { .. } => return node.keys().binary_search(&k).is_ok(),
+                Body::Internal { len, seps, edges } => {
+                    let idx = seps[..*len as usize - 1].partition_point(|s| *s <= k);
+                    raw = edges[idx].read(&self.clock).0;
+                }
+            }
+        }
     }
 
     /// Θ(n) size (unaugmented).
     pub fn len_slow(&self) -> u64 {
         self.snapshot().range_count(0, u64::MAX)
+    }
+
+    /// Longest version chain reachable from the current tree (diagnostic
+    /// for the trimming tests; single-writer callers only).
+    #[doc(hidden)]
+    pub fn debug_max_version_chain(&self) -> usize {
+        let _g = ebr::pin();
+        fn chain_len(head: u64) -> usize {
+            let mut n = 0;
+            let mut raw = head;
+            while raw != 0 {
+                n += 1;
+                raw = unsafe { VersionRecord::from_raw(raw) }.prev();
+            }
+            n
+        }
+        fn rec(raw: u64, max: &mut usize) {
+            let node = unsafe { BNode::from_raw(raw) };
+            if let Body::Internal { len, edges, .. } = &node.body {
+                for e in &edges[..*len as usize] {
+                    *max = (*max).max(chain_len(e.head()));
+                    rec(unsafe { VersionRecord::from_raw(e.head()) }.child(), max);
+                }
+            }
+        }
+        let mut max = chain_len(self.root.head());
+        rec(
+            unsafe { VersionRecord::from_raw(self.root.head()) }.child(),
+            &mut max,
+        );
+        max
     }
 }
 
@@ -338,28 +616,40 @@ impl Default for FanoutSet {
 
 impl Drop for FanoutSet {
     fn drop(&mut self) {
-        fn walk(raw: u64) {
-            if let node @ BNode::Internal { .. } = unsafe { BNode::from_raw(raw) } {
-                for &c in node.fan().1 {
-                    walk(c);
+        // Walk current heads only: children of superseded versions were
+        // retired when their replacement published (or are pending in
+        // EBR, whose callbacks own them). Chains themselves are disposed
+        // as records.
+        unsafe fn walk(raw: u64) {
+            let node = unsafe { BNode::from_raw(raw) };
+            if let Body::Internal { len, edges, .. } = &node.body {
+                for e in &edges[..*len as usize] {
+                    let head = e.head();
+                    unsafe { walk(VersionRecord::from_raw(head).child()) };
+                    unsafe { vedge::dispose_chain(head) };
                 }
             }
             unsafe { ebr::pool::dispose_pooled(raw as *mut BNode) };
         }
-        walk(self.root.load(Ordering::Acquire));
+        let head = self.root.head();
+        unsafe {
+            walk(VersionRecord::from_raw(head).child());
+            vedge::dispose_chain(head);
+        }
     }
 }
 
-impl FanoutSnapshot {
-    /// Membership within the snapshot, O(log_F n).
+impl FanoutSnapshot<'_> {
+    /// Membership within the snapshot, O(log_F n) plus chain hops.
     pub fn contains(&self, k: u64) -> bool {
         let mut raw = self.root;
         loop {
-            match unsafe { BNode::from_raw(raw) } {
-                node @ BNode::Leaf { .. } => return node.keys().binary_search(&k).is_ok(),
-                node @ BNode::Internal { .. } => {
-                    let (seps, children) = node.fan();
-                    raw = children[seps.partition_point(|s| *s <= k)];
+            let node = unsafe { BNode::from_raw(raw) };
+            match &node.body {
+                Body::Leaf { .. } => return node.keys().binary_search(&k).is_ok(),
+                Body::Internal { len, seps, edges } => {
+                    let idx = seps[..*len as usize - 1].partition_point(|s| *s <= k);
+                    raw = edges[idx].read_at(&self.set.clock, self.ts);
                 }
             }
         }
@@ -370,49 +660,55 @@ impl FanoutSnapshot {
         if lo > hi {
             return 0;
         }
-        fn rec(raw: u64, lo: u64, hi: u64) -> u64 {
-            match unsafe { BNode::from_raw(raw) } {
-                node @ BNode::Leaf { .. } => {
-                    let keys = node.keys();
-                    let a = keys.partition_point(|k| *k < lo);
-                    let b = keys.partition_point(|k| *k <= hi);
-                    (b - a) as u64
-                }
-                node @ BNode::Internal { .. } => {
-                    let (seps, children) = node.fan();
-                    let first = seps.partition_point(|s| *s <= lo);
-                    let last = seps.partition_point(|s| *s <= hi);
-                    (first..=last).map(|i| rec(children[i], lo, hi)).sum()
-                }
+        self.count_rec(self.root, lo, hi)
+    }
+
+    fn count_rec(&self, raw: u64, lo: u64, hi: u64) -> u64 {
+        let node = unsafe { BNode::from_raw(raw) };
+        match &node.body {
+            Body::Leaf { .. } => {
+                let keys = node.keys();
+                let a = keys.partition_point(|k| *k < lo);
+                let b = keys.partition_point(|k| *k <= hi);
+                (b - a) as u64
+            }
+            Body::Internal { .. } => {
+                let (seps, edges) = node.fan();
+                let first = seps.partition_point(|s| *s <= lo);
+                let last = seps.partition_point(|s| *s <= hi);
+                (first..=last)
+                    .map(|i| self.count_rec(edges[i].read_at(&self.set.clock, self.ts), lo, hi))
+                    .sum()
             }
         }
-        rec(self.root, lo, hi)
     }
 
     /// Collect keys in `[lo, hi]`.
     pub fn range_collect(&self, lo: u64, hi: u64) -> Vec<u64> {
         let mut out = Vec::new();
-        fn rec(raw: u64, lo: u64, hi: u64, out: &mut Vec<u64>) {
-            match unsafe { BNode::from_raw(raw) } {
-                node @ BNode::Leaf { .. } => {
-                    for &k in node.keys().iter().filter(|k| **k >= lo && **k <= hi) {
-                        out.push(k);
-                    }
+        if lo <= hi {
+            self.collect_rec(self.root, lo, hi, &mut out);
+        }
+        out
+    }
+
+    fn collect_rec(&self, raw: u64, lo: u64, hi: u64, out: &mut Vec<u64>) {
+        let node = unsafe { BNode::from_raw(raw) };
+        match &node.body {
+            Body::Leaf { .. } => {
+                for &k in node.keys().iter().filter(|k| **k >= lo && **k <= hi) {
+                    out.push(k);
                 }
-                node @ BNode::Internal { .. } => {
-                    let (seps, children) = node.fan();
-                    let first = seps.partition_point(|s| *s <= lo);
-                    let last = seps.partition_point(|s| *s <= hi);
-                    for &child in &children[first..=last] {
-                        rec(child, lo, hi, out);
-                    }
+            }
+            Body::Internal { .. } => {
+                let (seps, edges) = node.fan();
+                let first = seps.partition_point(|s| *s <= lo);
+                let last = seps.partition_point(|s| *s <= hi);
+                for e in &edges[first..=last] {
+                    self.collect_rec(e.read_at(&self.set.clock, self.ts), lo, hi, out);
                 }
             }
         }
-        if lo <= hi {
-            rec(self.root, lo, hi, &mut out);
-        }
-        out
     }
 
     /// Rank (keys ≤ k) — Θ(#keys ≤ k) scan: unaugmented cost model.
@@ -550,5 +846,56 @@ mod tests {
         }
         let (_, m1, _) = ebr::pool::local_stats();
         assert_eq!(m1 - m0, 0, "steady-state COW updates must hit the pool");
+    }
+
+    #[test]
+    fn version_chains_stay_trimmed_without_snapshots() {
+        let s = FanoutSet::new();
+        for k in 0..1024u64 {
+            s.insert(k);
+        }
+        for round in 0..20u64 {
+            for k in 0..256u64 {
+                if (k + round).is_multiple_of(2) {
+                    s.remove(k);
+                } else {
+                    s.insert(k);
+                }
+            }
+        }
+        // Every publish trims its edge: with no snapshot live, no chain
+        // may accumulate history.
+        assert!(
+            s.debug_max_version_chain() <= 2,
+            "chains grew to {}",
+            s.debug_max_version_chain()
+        );
+        ebr::flush();
+    }
+
+    #[test]
+    fn live_snapshot_blocks_trimming_then_releases() {
+        let s = FanoutSet::new();
+        for k in 0..64u64 {
+            s.insert(k);
+        }
+        let snap = s.snapshot();
+        for _ in 0..50 {
+            s.remove(7);
+            s.insert(7);
+        }
+        assert!(
+            s.debug_max_version_chain() > 2,
+            "a live snapshot must preserve history"
+        );
+        assert_eq!(snap.range_count(0, 63), 64, "snapshot still reads its cut");
+        drop(snap);
+        // The next publishes trim back down.
+        for _ in 0..2 {
+            s.remove(7);
+            s.insert(7);
+        }
+        assert!(s.debug_max_version_chain() <= 3);
+        ebr::flush();
     }
 }

@@ -1,6 +1,6 @@
 //! Copy-on-write semantics of the fanout tree: structural sharing must
-//! never let an update damage a published snapshot, and the root CAS must
-//! never lose updates.
+//! never let an update damage a published snapshot, and the versioned-edge
+//! publication (per-subtree LLX/SCX since PR 3) must never lose updates.
 
 use std::sync::Arc;
 

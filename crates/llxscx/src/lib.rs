@@ -42,8 +42,11 @@ use std::sync::OnceLock;
 use ebr::CachePadded;
 
 /// Maximum records an SCX can freeze. The chromatic tree needs at most 5
-/// (grandparent, parent, node, sibling, nephew).
-pub const MAX_V: usize = 8;
+/// (grandparent, parent, node, sibling, nephew); `fanout`'s versioned-edge
+/// publication freezes the edge holder plus every internal node a split
+/// cascade replaces — one per level, so 12 covers trees of height ≤ 11
+/// (far beyond 10⁹ keys at fanout 8–16).
+pub const MAX_V: usize = 12;
 
 /// Number of descriptor slots; indexed by [`ebr::thread_id`].
 pub const MAX_THREADS: usize = ebr::MAX_THREADS;

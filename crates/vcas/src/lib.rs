@@ -12,45 +12,27 @@
 //!   augmented trees win Figs. 6–10 past the crossover.
 //!
 //! Mechanism (following \[33\]'s versioned-CAS idea): every mutable child
-//! edge holds a pointer to a [`VNode`] — a timestamped version record with
-//! a `prev` pointer to the edge's older versions. Updates install a new
-//! `VNode` (via the same LLX/SCX coordination our other trees use) whose
-//! timestamp is stamped lazily from the global clock; snapshot readers
-//! bump the clock and then traverse the version lists to the newest
-//! version no newer than their timestamp.
+//! edge is a [`vedge::VersionedEdge`] — a pointer to a timestamped
+//! [`vedge::VersionRecord`] with a `prev` pointer to the edge's older
+//! versions. Updates install a new record (via the same LLX/SCX
+//! coordination our other trees use) whose timestamp is stamped lazily
+//! from the set's clock; snapshot readers advance the clock and traverse
+//! the version lists to the newest version no newer than their timestamp.
+//! The record layout, stamping protocol, snapshot registry and trimming
+//! are shared with `fanout` through the `vedge` crate.
 //!
-//! Substitution notes (DESIGN.md §2.5): we keep whole version lists until
-//! their owning node is reclaimed rather than implementing \[33\]'s
-//! version-list garbage collection; that costs memory proportional to
-//! update count but does not change the query/update cost shape this
-//! baseline exists to exhibit.
+//! **PR 3 fixes over the seed:** version records used to be
+//! `Box::into_raw`'d (bypassing the EBR pool, so every update paid a
+//! malloc) and whole version lists were kept until node reclamation, so
+//! update-heavy runs grew memory linearly in the update count. Records now
+//! come from the layout-keyed pool and every successful publish trims its
+//! edge's list down to what live snapshots can still reach
+//! ([`vedge::trim`]) — an idle edge's history is one record.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 
 use llxscx::{Llx, RecordHeader};
-
-/// One version of a child edge: `(child, ts, prev)`.
-pub struct VNode {
-    child: u64, // *const Node
-    /// 0 = not yet stamped; stamped lazily by the first reader/writer.
-    ts: AtomicU64,
-    prev: u64, // *const VNode (older version)
-}
-
-impl VNode {
-    fn alloc(child: u64, prev: u64) -> u64 {
-        Box::into_raw(Box::new(VNode {
-            child,
-            ts: AtomicU64::new(0),
-            prev,
-        })) as u64
-    }
-
-    #[inline]
-    unsafe fn from_raw<'g>(raw: u64) -> &'g VNode {
-        unsafe { &*(raw as *const VNode) }
-    }
-}
+use vedge::{SnapRegistry, VersionRecord, VersionedEdge};
 
 /// A tree node. Leaf-oriented: real keys at the leaves; `u64::MAX` and
 /// `u64::MAX - 1` serve as the two sentinel infinities (keys must be
@@ -58,8 +40,8 @@ impl VNode {
 pub struct Node {
     header: RecordHeader,
     key: u64,
-    left: AtomicU64,  // *const VNode, 0 for leaves
-    right: AtomicU64, // *const VNode
+    left: VersionedEdge, // head == 0 for leaves
+    right: VersionedEdge,
 }
 
 const INF1: u64 = u64::MAX - 1;
@@ -70,8 +52,8 @@ impl Node {
         Box::into_raw(Box::new(Node {
             header: RecordHeader::new(),
             key,
-            left: AtomicU64::new(0),
-            right: AtomicU64::new(0),
+            left: VersionedEdge::null(),
+            right: VersionedEdge::null(),
         })) as u64
     }
 
@@ -79,8 +61,8 @@ impl Node {
         Box::into_raw(Box::new(Node {
             header: RecordHeader::new(),
             key,
-            left: AtomicU64::new(VNode::alloc(left_child, 0)),
-            right: AtomicU64::new(VNode::alloc(right_child, 0)),
+            left: VersionedEdge::new(left_child),
+            right: VersionedEdge::new(right_child),
         })) as u64
     }
 
@@ -91,7 +73,7 @@ impl Node {
 
     #[inline]
     fn is_leaf(&self) -> bool {
-        self.left.load(Ordering::Acquire) == 0
+        self.left.head() == 0
     }
 }
 
@@ -99,17 +81,25 @@ impl Node {
 pub struct VcasSet {
     entry: u64,
     clock: AtomicU64,
+    snaps: SnapRegistry,
 }
 
 unsafe impl Send for VcasSet {}
 unsafe impl Sync for VcasSet {}
 
 /// A constant-time snapshot: a timestamp plus an epoch guard pinning the
-/// version lists.
+/// version lists. Registered in the set's [`SnapRegistry`] so trimming
+/// never cuts a version this snapshot can reach.
 pub struct VcasSnapshot<'t> {
     set: &'t VcasSet,
     ts: u64,
     _guard: ebr::Guard,
+}
+
+impl Drop for VcasSnapshot<'_> {
+    fn drop(&mut self) {
+        self.set.snaps.deregister();
+    }
 }
 
 impl VcasSet {
@@ -123,43 +113,14 @@ impl VcasSet {
         VcasSet {
             entry,
             clock: AtomicU64::new(1),
+            snaps: SnapRegistry::new(),
         }
-    }
-
-    /// Stamp an unstamped version with the current clock (lazy timestamping
-    /// as in \[33\]: the CAS makes stamping race-free).
-    #[inline]
-    fn init_ts(&self, v: &VNode) -> u64 {
-        let t = v.ts.load(Ordering::Acquire);
-        if t != 0 {
-            return t;
-        }
-        let now = self.clock.load(Ordering::SeqCst);
-        let _ =
-            v.ts.compare_exchange(0, now, Ordering::SeqCst, Ordering::SeqCst);
-        v.ts.load(Ordering::Acquire)
     }
 
     /// Current child of an edge (head version), stamping lazily.
     #[inline]
-    fn read_child(&self, field: &AtomicU64) -> (u64, u64) {
-        let head = field.load(Ordering::Acquire);
-        let v = unsafe { VNode::from_raw(head) };
-        self.init_ts(v);
-        (v.child, head)
-    }
-
-    /// Child of an edge as of timestamp `ts`.
-    fn read_child_at(&self, field: &AtomicU64, ts: u64) -> u64 {
-        let mut raw = field.load(Ordering::Acquire);
-        loop {
-            let v = unsafe { VNode::from_raw(raw) };
-            let vt = self.init_ts(v);
-            if vt <= ts || v.prev == 0 {
-                return v.child;
-            }
-            raw = v.prev;
-        }
+    fn read_child(&self, edge: &VersionedEdge) -> (u64, u64) {
+        edge.read(&self.clock)
     }
 
     fn search(&self, k: u64) -> (&Node, &Node, &Node) {
@@ -168,15 +129,15 @@ impl VcasSet {
         let (p_raw, _) = self.read_child(&gp.left);
         let mut p = unsafe { Node::from_raw(p_raw) };
         let mut l = {
-            let f = if k < p.key { &p.left } else { &p.right };
-            let (c, _) = self.read_child(f);
+            let e = if k < p.key { &p.left } else { &p.right };
+            let (c, _) = self.read_child(e);
             unsafe { Node::from_raw(c) }
         };
         while !l.is_leaf() {
             gp = p;
             p = l;
-            let f = if k < l.key { &l.left } else { &l.right };
-            let (c, _) = self.read_child(f);
+            let e = if k < l.key { &l.left } else { &l.right };
+            let (c, _) = self.read_child(e);
             l = unsafe { Node::from_raw(c) };
         }
         (gp, p, l)
@@ -191,12 +152,7 @@ impl VcasSet {
 
     /// LLX a node, snapshotting its two version heads.
     fn llx_node(n: &Node) -> Llx<(u64, u64)> {
-        llxscx::llx(&n.header, || {
-            (
-                n.left.load(Ordering::Acquire),
-                n.right.load(Ordering::Acquire),
-            )
-        })
+        llxscx::llx(&n.header, || (n.left.head(), n.right.head()))
     }
 
     /// Insert `k`; returns `true` iff newly added.
@@ -215,13 +171,13 @@ impl VcasSet {
             else {
                 continue;
             };
-            let (field, head) = if k < p.key {
+            let (edge, head) = if k < p.key {
                 (&p.left, psnap.0)
             } else {
                 (&p.right, psnap.1)
             };
             // Re-validate that the head still leads to l.
-            if unsafe { VNode::from_raw(head) }.child != l as *const Node as u64 {
+            if unsafe { VersionRecord::from_raw(head) }.child() != l as *const Node as u64 {
                 continue;
             }
             let Llx::Ok { info: linfo, .. } = Self::llx_node(l) else {
@@ -235,7 +191,7 @@ impl VcasSet {
                 (leaf_copy, new_leaf, k)
             };
             let internal = Node::internal(ikey, lc, rc);
-            let new_head = VNode::alloc(internal, head);
+            let new_head = VersionRecord::alloc(internal, head);
             let ok = unsafe {
                 llxscx::scx(
                     &[
@@ -249,21 +205,22 @@ impl VcasSet {
                         },
                     ],
                     0b10,
-                    field as *const AtomicU64,
+                    edge.cell() as *const AtomicU64,
                     head,
                     new_head,
                 )
             };
             if ok {
-                self.init_ts(unsafe { VNode::from_raw(new_head) });
+                unsafe { VersionRecord::from_raw(new_head) }.stamp(&self.clock);
                 unsafe { Self::retire_node(&guard, l as *const Node as u64) };
+                vedge::trim(&guard, new_head, self.snaps.min_active(), &self.clock);
                 return true;
             }
             unsafe {
                 Self::dispose_node(internal);
                 Self::dispose_node(new_leaf);
                 Self::dispose_node(leaf_copy);
-                drop(Box::from_raw(new_head as *mut VNode));
+                ebr::pool::dispose_pooled(new_head as *mut VersionRecord);
             }
         }
     }
@@ -284,12 +241,12 @@ impl VcasSet {
             else {
                 continue;
             };
-            let (gfield, ghead) = if k < gp.key {
+            let (gedge, ghead) = if k < gp.key {
                 (&gp.left, gpsnap.0)
             } else {
                 (&gp.right, gpsnap.1)
             };
-            if unsafe { VNode::from_raw(ghead) }.child != p as *const Node as u64 {
+            if unsafe { VersionRecord::from_raw(ghead) }.child() != p as *const Node as u64 {
                 continue;
             }
             let Llx::Ok {
@@ -304,10 +261,10 @@ impl VcasSet {
             } else {
                 (psnap.1, psnap.0)
             };
-            if unsafe { VNode::from_raw(lhead) }.child != l as *const Node as u64 {
+            if unsafe { VersionRecord::from_raw(lhead) }.child() != l as *const Node as u64 {
                 continue;
             }
-            let s_raw = unsafe { VNode::from_raw(shead) }.child;
+            let s_raw = unsafe { VersionRecord::from_raw(shead) }.child();
             let s = unsafe { Node::from_raw(s_raw) };
             let Llx::Ok { info: sinfo, .. } = Self::llx_node(s) else {
                 continue;
@@ -325,7 +282,7 @@ impl VcasSet {
                 let (sr, _) = self.read_child(&s.right);
                 Node::internal(s.key, sl, sr)
             };
-            let new_head = VNode::alloc(s_copy, ghead);
+            let new_head = VersionRecord::alloc(s_copy, ghead);
             let ok = unsafe {
                 llxscx::scx(
                     &[
@@ -347,23 +304,24 @@ impl VcasSet {
                         },
                     ],
                     0b1110,
-                    gfield as *const AtomicU64,
+                    gedge.cell() as *const AtomicU64,
                     ghead,
                     new_head,
                 )
             };
             if ok {
-                self.init_ts(unsafe { VNode::from_raw(new_head) });
+                unsafe { VersionRecord::from_raw(new_head) }.stamp(&self.clock);
                 unsafe {
                     Self::retire_node(&guard, p as *const Node as u64);
                     Self::retire_node(&guard, l as *const Node as u64);
                     Self::retire_node(&guard, s_raw);
                 }
+                vedge::trim(&guard, new_head, self.snaps.min_active(), &self.clock);
                 return true;
             }
             unsafe {
                 Self::dispose_node(s_copy);
-                drop(Box::from_raw(new_head as *mut VNode));
+                ebr::pool::dispose_pooled(new_head as *mut VersionRecord);
             }
         }
     }
@@ -371,13 +329,11 @@ impl VcasSet {
     unsafe fn retire_node(guard: &ebr::Guard, raw: u64) {
         unsafe fn free(p: *mut u8) {
             let node = unsafe { Box::from_raw(p as *mut Node) };
-            // Retire the node's version lists along with it.
-            for field in [&node.left, &node.right] {
-                let mut v = field.load(Ordering::Acquire);
-                while v != 0 {
-                    let vn = unsafe { Box::from_raw(v as *mut VNode) };
-                    v = vn.prev;
-                }
+            // The node's version lists go back to the pool with it — the
+            // records only, never the superseded children they point to
+            // (those are retired by their own replacement).
+            for edge in [&node.left, &node.right] {
+                unsafe { vedge::dispose_chain(edge.head()) };
             }
         }
         unsafe { guard.retire_with(raw as *mut u8, free) };
@@ -385,19 +341,17 @@ impl VcasSet {
 
     unsafe fn dispose_node(raw: u64) {
         let node = unsafe { Box::from_raw(raw as *mut Node) };
-        for field in [&node.left, &node.right] {
-            let v = field.load(Ordering::Acquire);
-            if v != 0 {
-                drop(unsafe { Box::from_raw(v as *mut VNode) });
-            }
+        for edge in [&node.left, &node.right] {
+            unsafe { vedge::dispose_chain(edge.head()) };
         }
     }
 
     /// Take a constant-time snapshot: advance the clock and remember the
-    /// pre-advance timestamp.
+    /// pre-advance timestamp, announcing it so trimming spares everything
+    /// the snapshot can read.
     pub fn snapshot(&self) -> VcasSnapshot<'_> {
         let guard = ebr::pin();
-        let ts = self.clock.fetch_add(1, Ordering::SeqCst);
+        let ts = self.snaps.register(&self.clock);
         VcasSnapshot {
             set: self,
             ts,
@@ -409,6 +363,36 @@ impl VcasSet {
     pub fn len_slow(&self) -> u64 {
         let snap = self.snapshot();
         snap.range_count(0, INF1 - 1)
+    }
+
+    /// Longest version chain reachable from the current tree (diagnostic
+    /// for the trimming tests; quiescent callers only).
+    #[doc(hidden)]
+    pub fn debug_max_version_chain(&self) -> usize {
+        let _g = ebr::pin();
+        fn chain_len(head: u64) -> usize {
+            let mut n = 0;
+            let mut raw = head;
+            while raw != 0 {
+                n += 1;
+                raw = unsafe { VersionRecord::from_raw(raw) }.prev();
+            }
+            n
+        }
+        fn rec(set: &VcasSet, raw: u64, max: &mut usize) {
+            let node = unsafe { Node::from_raw(raw) };
+            if node.is_leaf() {
+                return;
+            }
+            for edge in [&node.left, &node.right] {
+                *max = (*max).max(chain_len(edge.head()));
+                let (c, _) = set.read_child(edge);
+                rec(set, c, max);
+            }
+        }
+        let mut max = 0;
+        rec(self, self.entry, &mut max);
+        max
     }
 }
 
@@ -428,9 +412,9 @@ impl Drop for VcasSet {
                 walk(set, l);
                 walk(set, r);
             }
-            // Only free current-version children; superseded subtrees leak
-            // at drop (acceptable: drop runs at process teardown in the
-            // benches; during execution EBR reclaims retired nodes).
+            // Current-version children only; the chains themselves are
+            // disposed as records (superseded children were retired when
+            // replaced, or are pending in EBR).
             unsafe { VcasSet::dispose_node(raw) };
         }
         walk(self, self.entry);
@@ -438,19 +422,22 @@ impl Drop for VcasSet {
 }
 
 impl<'t> VcasSnapshot<'t> {
+    fn read_child_at(&self, edge: &VersionedEdge) -> u64 {
+        edge.read_at(&self.set.clock, self.ts)
+    }
+
     fn root_at(&self) -> u64 {
         let entry = unsafe { Node::from_raw(self.set.entry) };
-        let inf1 = self.set.read_child_at(&entry.left, self.ts);
-        self.set
-            .read_child_at(&unsafe { Node::from_raw(inf1) }.left, self.ts)
+        let inf1 = self.read_child_at(&entry.left);
+        self.read_child_at(&unsafe { Node::from_raw(inf1) }.left)
     }
 
     /// Membership within the snapshot.
     pub fn contains(&self, k: u64) -> bool {
         let mut n = unsafe { Node::from_raw(self.root_at()) };
         while !n.is_leaf() {
-            let f = if k < n.key { &n.left } else { &n.right };
-            n = unsafe { Node::from_raw(self.set.read_child_at(f, self.ts)) };
+            let e = if k < n.key { &n.left } else { &n.right };
+            n = unsafe { Node::from_raw(self.read_child_at(e)) };
         }
         n.key == k
     }
@@ -471,10 +458,10 @@ impl<'t> VcasSnapshot<'t> {
         }
         let mut total = 0;
         if lo < n.key {
-            total += self.count_range(self.set.read_child_at(&n.left, self.ts), lo, hi);
+            total += self.count_range(self.read_child_at(&n.left), lo, hi);
         }
         if hi >= n.key {
-            total += self.count_range(self.set.read_child_at(&n.right, self.ts), lo, hi);
+            total += self.count_range(self.read_child_at(&n.right), lo, hi);
         }
         total
     }
@@ -495,10 +482,10 @@ impl<'t> VcasSnapshot<'t> {
             return;
         }
         if lo < n.key {
-            self.collect_range(self.set.read_child_at(&n.left, self.ts), lo, hi, out);
+            self.collect_range(self.read_child_at(&n.left), lo, hi, out);
         }
         if hi >= n.key {
-            self.collect_range(self.set.read_child_at(&n.right, self.ts), lo, hi, out);
+            self.collect_range(self.read_child_at(&n.right), lo, hi, out);
         }
     }
 
@@ -627,5 +614,83 @@ mod tests {
             last = n;
         }
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn version_lists_stay_trimmed_without_snapshots() {
+        // Seed bug: update-heavy runs kept every version until node
+        // reclamation, growing memory linearly. With writer-driven
+        // trimming, churn on a fixed key set leaves bounded chains.
+        let s = VcasSet::new();
+        for k in 0..64 {
+            s.insert(k);
+        }
+        for round in 0..200u64 {
+            for k in 0..64 {
+                if (k + round).is_multiple_of(2) {
+                    s.remove(k);
+                } else {
+                    s.insert(k);
+                }
+            }
+        }
+        assert!(
+            s.debug_max_version_chain() <= 2,
+            "chains grew to {}",
+            s.debug_max_version_chain()
+        );
+        ebr::flush();
+    }
+
+    #[test]
+    fn live_snapshot_preserves_history_until_dropped() {
+        let s = VcasSet::new();
+        for k in 0..32 {
+            s.insert(k);
+        }
+        let snap = s.snapshot();
+        for _ in 0..30 {
+            s.remove(3);
+            s.insert(3);
+        }
+        assert!(s.debug_max_version_chain() > 2);
+        assert_eq!(snap.range_count(0, 31), 32);
+        drop(snap);
+        for _ in 0..2 {
+            s.remove(3);
+            s.insert(3);
+        }
+        assert!(s.debug_max_version_chain() <= 3);
+        ebr::flush();
+    }
+
+    #[test]
+    fn version_records_come_from_the_pool() {
+        let s = VcasSet::new();
+        for k in 0..512 {
+            s.insert(k);
+        }
+        // Warm-up: stock the pool with the record + node layout classes.
+        for round in 0..6u64 {
+            for k in 0..256 {
+                if (k + round).is_multiple_of(2) {
+                    s.remove(k);
+                } else {
+                    s.insert(k);
+                }
+            }
+            ebr::flush();
+        }
+        let (h0, _, _) = ebr::pool::local_stats();
+        for k in 0..256 {
+            s.remove(k);
+            s.insert(k);
+        }
+        let (h1, _, _) = ebr::pool::local_stats();
+        assert!(
+            h1 > h0,
+            "steady-state vcas updates must recycle version records"
+        );
+        ebr::flush();
     }
 }

@@ -1,0 +1,395 @@
+//! # vedge — shared versioned-edge machinery
+//!
+//! The versioned-CAS idea of Wei et al. (PPoPP 2021 \[33\]) gives a tree
+//! constant-time snapshots: every mutable child edge holds a pointer to a
+//! timestamped **version record** whose `prev` pointer chains to the edge's
+//! older versions. Writers install a new head record; snapshot readers
+//! remember a timestamp and walk each chain to the newest record no newer
+//! than it.
+//!
+//! Two crates in this workspace use that mechanism — `vcas` (the VcasBST
+//! baseline it was prototyped in) and `fanout` (whose per-subtree versioned
+//! edges are the PR 3 tentpole) — so the record layout, the lazy stamping
+//! protocol, the snapshot-timestamp registry and the version-list trimming
+//! live here instead of being duplicated.
+//!
+//! ## Pieces
+//!
+//! * [`VersionRecord`] — one `(child, ts, prev)` version of an edge,
+//!   allocated from the EBR free-list pool (`ebr::pool`), so version
+//!   traffic is a pooled layout class and steady-state updates stay off
+//!   the global allocator.
+//! * [`VersionedEdge`] — the atomic head pointer plus the read protocols:
+//!   current-head reads for linearizable point operations and
+//!   [`VersionedEdge::read_at`] for timestamped snapshot traversal.
+//! * [`SnapRegistry`] — per-thread announcement slots for live snapshot
+//!   timestamps. Writers ask [`SnapRegistry::min_active`] for the oldest
+//!   timestamp any live snapshot can read at; with no snapshots live this
+//!   is a single shared-counter load.
+//! * [`trim`] — version-list garbage collection (\[33\] §4.3, which the
+//!   seed's `vcas` skipped): after installing a new head, the writer cuts
+//!   every record no reader can reach and retires it through EBR, so
+//!   update-heavy runs no longer grow memory linearly in update count.
+//!
+//! ## Stamping protocol
+//!
+//! Records are installed with `ts == 0` ("unstamped") and stamped lazily
+//! from the owning structure's clock: the installer stamps right after its
+//! publish commits, and any snapshot reader or trimmer that encounters an
+//! unstamped record stamps it first (the CAS makes this race-free). Only
+//! snapshots advance the clock, exactly as in \[33\].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ebr::{CachePadded, Guard};
+
+/// One version of a child edge: `(child, ts, prev)`.
+///
+/// `prev` is atomic because [`trim`] detaches chain suffixes with CAS;
+/// the detaching CAS doubles as an ownership transfer, so every record is
+/// retired by exactly one thread.
+pub struct VersionRecord {
+    child: u64,
+    /// 0 = not yet stamped; stamped lazily from the structure's clock.
+    ts: AtomicU64,
+    /// Older version of the same edge (0 = end of chain).
+    prev: AtomicU64,
+}
+
+impl VersionRecord {
+    /// Allocate a fresh, unstamped record from the EBR pool.
+    pub fn alloc(child: u64, prev: u64) -> u64 {
+        ebr::pool::alloc_pooled(VersionRecord {
+            child,
+            ts: AtomicU64::new(0),
+            prev: AtomicU64::new(prev),
+        }) as u64
+    }
+
+    /// # Safety
+    /// `raw` must come from [`VersionRecord::alloc`] and be live (pinned or
+    /// owned by the caller).
+    #[inline]
+    pub unsafe fn from_raw<'g>(raw: u64) -> &'g VersionRecord {
+        unsafe { &*(raw as *const VersionRecord) }
+    }
+
+    /// The child this version points to.
+    #[inline]
+    pub fn child(&self) -> u64 {
+        self.child
+    }
+
+    /// The next-older version (0 at the end of the chain).
+    #[inline]
+    pub fn prev(&self) -> u64 {
+        self.prev.load(Ordering::Acquire)
+    }
+
+    /// Stamp an unstamped record with the current clock and return its
+    /// (now-final) timestamp. Lazy timestamping as in \[33\]: the CAS makes
+    /// racing stampers agree on one value.
+    #[inline]
+    pub fn stamp(&self, clock: &AtomicU64) -> u64 {
+        let t = self.ts.load(Ordering::Acquire);
+        if t != 0 {
+            return t;
+        }
+        let now = clock.load(Ordering::SeqCst);
+        let _ = self
+            .ts
+            .compare_exchange(0, now, Ordering::SeqCst, Ordering::SeqCst);
+        self.ts.load(Ordering::Acquire)
+    }
+}
+
+/// A mutable child edge: an atomic pointer to the head [`VersionRecord`].
+///
+/// The head is swung by the owning structure's own synchronization (a CAS
+/// or an SCX targeting [`VersionedEdge::cell`]); this type only fixes the
+/// read protocols.
+pub struct VersionedEdge(AtomicU64);
+
+impl VersionedEdge {
+    /// An edge whose initial version points at `child`.
+    pub fn new(child: u64) -> Self {
+        VersionedEdge(AtomicU64::new(VersionRecord::alloc(child, 0)))
+    }
+
+    /// An empty edge (leaf sentinel: no version record at all).
+    pub const fn null() -> Self {
+        VersionedEdge(AtomicU64::new(0))
+    }
+
+    /// Raw head pointer (0 for [`VersionedEdge::null`] edges).
+    #[inline]
+    pub fn head(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// The atomic cell, for the owner's publish CAS / SCX.
+    #[inline]
+    pub fn cell(&self) -> &AtomicU64 {
+        &self.0
+    }
+
+    /// `(child, head_raw)` of the current head, stamping it lazily.
+    /// The edge must be non-null.
+    #[inline]
+    pub fn read(&self, clock: &AtomicU64) -> (u64, u64) {
+        let head = self.head();
+        let v = unsafe { VersionRecord::from_raw(head) };
+        v.stamp(clock);
+        (v.child(), head)
+    }
+
+    /// Child of this edge as of timestamp `ts`: the newest version no newer
+    /// than `ts` (or the oldest surviving one — see [`trim`]'s invariant:
+    /// versions older than any live snapshot are the only ones cut).
+    pub fn read_at(&self, clock: &AtomicU64, ts: u64) -> u64 {
+        let mut raw = self.head();
+        loop {
+            let v = unsafe { VersionRecord::from_raw(raw) };
+            let vt = v.stamp(clock);
+            let prev = v.prev();
+            if vt <= ts || prev == 0 {
+                return v.child();
+            }
+            raw = prev;
+        }
+    }
+}
+
+/// Dispose an entire version chain (records only — never the children old
+/// versions point to, which may long be reclaimed) straight back to the
+/// pool. `head` may be 0.
+///
+/// # Safety
+/// The chain must be unreachable by any other thread: either never
+/// published, or owned by a reclamation callback whose grace period has
+/// passed (the standard "free the version list with its node" rule).
+pub unsafe fn dispose_chain(head: u64) {
+    let mut raw = head;
+    while raw != 0 {
+        let next = unsafe { VersionRecord::from_raw(raw) }.prev();
+        unsafe { ebr::pool::dispose_pooled(raw as *mut VersionRecord) };
+        raw = next;
+    }
+}
+
+/// Trim the version chain hanging off `head`: starting from `head`, find
+/// the first record with `ts <= min_active` (the newest version the oldest
+/// live snapshot can need) and detach-and-retire everything older.
+///
+/// Safe to race with readers (EBR defers the frees; readers with `ts >=
+/// min_active` stop at or above the kept record) and with other trimmers:
+/// each `prev` pointer is claimed by exactly one CAS/swap, and the claimant
+/// owns — and retires — the record behind it.
+pub fn trim(guard: &Guard, head: u64, min_active: u64, clock: &AtomicU64) {
+    let mut cur = head;
+    loop {
+        let v = unsafe { VersionRecord::from_raw(cur) };
+        let vt = v.stamp(clock);
+        let prev = v.prev.load(Ordering::SeqCst);
+        if prev == 0 {
+            return;
+        }
+        if vt <= min_active {
+            // `v` serves every live snapshot at or below `min_active`; the
+            // suffix behind it is unreachable. Claim it atomically.
+            if v.prev
+                .compare_exchange(prev, 0, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                let mut p = prev;
+                while p != 0 {
+                    let rec = unsafe { VersionRecord::from_raw(p) };
+                    // Claim each link before retiring its record: a
+                    // concurrent trimmer that cut deeper inside this
+                    // suffix owns everything behind its own cut.
+                    let next = rec.prev.swap(0, Ordering::SeqCst);
+                    unsafe { ebr::pool::retire_pooled(guard, p as *mut VersionRecord) };
+                    p = next;
+                }
+            }
+            return;
+        }
+        cur = prev;
+    }
+}
+
+struct SnapSlot {
+    /// Lower bound on every timestamp live snapshots of the owning thread
+    /// read at; `u64::MAX` when the thread has none.
+    ts: AtomicU64,
+    /// Live-snapshot nesting depth of the owning thread.
+    depth: AtomicU64,
+}
+
+/// Per-structure registry of live snapshot timestamps, indexed by
+/// [`ebr::thread_id`]. Snapshot guards are `!Send`, so a slot is only ever
+/// written by its owning thread; writers just read.
+pub struct SnapRegistry {
+    slots: Vec<CachePadded<SnapSlot>>,
+    /// Count of live snapshots across all threads: lets the no-snapshot
+    /// fast path of [`SnapRegistry::min_active`] skip the slot scan.
+    active: CachePadded<AtomicU64>,
+    /// One past the highest slot index ever registered: bounds the
+    /// [`SnapRegistry::min_active`] scan to threads that actually took
+    /// snapshots instead of all `MAX_THREADS` cache lines.
+    high: CachePadded<AtomicU64>,
+}
+
+impl SnapRegistry {
+    pub fn new() -> Self {
+        SnapRegistry {
+            slots: (0..ebr::MAX_THREADS)
+                .map(|_| {
+                    CachePadded::new(SnapSlot {
+                        ts: AtomicU64::new(u64::MAX),
+                        depth: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            active: CachePadded::new(AtomicU64::new(0)),
+            high: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Announce a new snapshot and return its timestamp (the pre-advance
+    /// clock value, as in \[33\]). The slot is pre-published with a clock
+    /// value no larger than the returned timestamp *before* the clock is
+    /// advanced, so a concurrent [`SnapRegistry::min_active`] can never
+    /// miss a snapshot and still see a timestamp below it.
+    ///
+    /// Must be paired with [`SnapRegistry::deregister`] on the same thread.
+    pub fn register(&self, clock: &AtomicU64) -> u64 {
+        let tid = ebr::thread_id();
+        let slot = &self.slots[tid];
+        self.high.fetch_max(tid as u64 + 1, Ordering::SeqCst);
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let depth = slot.depth.load(Ordering::Relaxed);
+        if depth == 0 {
+            slot.ts
+                .store(clock.load(Ordering::SeqCst), Ordering::SeqCst);
+        }
+        slot.depth.store(depth + 1, Ordering::Release);
+        clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Retire the calling thread's most recent registration.
+    pub fn deregister(&self) {
+        let slot = &self.slots[ebr::thread_id()];
+        let depth = slot.depth.load(Ordering::Relaxed);
+        debug_assert!(depth > 0, "deregister without register");
+        if depth == 1 {
+            slot.ts.store(u64::MAX, Ordering::SeqCst);
+        }
+        slot.depth.store(depth - 1, Ordering::Release);
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// A timestamp no live snapshot reads below (conservative). `u64::MAX`
+    /// when no snapshot is live — one counter load, no slot scan; with
+    /// snapshots live, the scan covers only slots that ever registered
+    /// (`high` is published before `active`, so a scan triggered by a
+    /// registration cannot miss its slot).
+    pub fn min_active(&self) -> u64 {
+        if self.active.load(Ordering::SeqCst) == 0 {
+            return u64::MAX;
+        }
+        let high = self.high.load(Ordering::SeqCst) as usize;
+        self.slots[..high]
+            .iter()
+            .map(|s| s.ts.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for SnapRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_at_walks_to_older_versions() {
+        let clock = AtomicU64::new(1);
+        let edge = VersionedEdge::new(100);
+        let (c, head0) = edge.read(&clock); // stamps head at ts 1
+        assert_eq!(c, 100);
+        clock.store(5, Ordering::SeqCst);
+        let head1 = VersionRecord::alloc(200, head0);
+        edge.cell().store(head1, Ordering::SeqCst);
+        unsafe { VersionRecord::from_raw(head1) }.stamp(&clock); // ts 5
+        assert_eq!(edge.read_at(&clock, 1), 100);
+        assert_eq!(edge.read_at(&clock, 4), 100);
+        assert_eq!(edge.read_at(&clock, 5), 200);
+        unsafe { dispose_chain(edge.head()) };
+    }
+
+    #[test]
+    fn read_at_falls_back_to_oldest() {
+        let clock = AtomicU64::new(7);
+        let edge = VersionedEdge::new(42);
+        // ts 7 > requested 3, but it is the oldest version: use it.
+        assert_eq!(edge.read_at(&clock, 3), 42);
+        unsafe { dispose_chain(edge.head()) };
+    }
+
+    #[test]
+    fn trim_cuts_unreachable_suffix() {
+        let clock = AtomicU64::new(1);
+        let edge = VersionedEdge::new(1);
+        edge.read(&clock); // ts 1
+        for (i, child) in [(2u64, 20u64), (3, 30), (4, 40)] {
+            clock.store(i, Ordering::SeqCst);
+            let h = VersionRecord::alloc(child, edge.head());
+            edge.cell().store(h, Ordering::SeqCst);
+            unsafe { VersionRecord::from_raw(h) }.stamp(&clock);
+        }
+        // A reader at ts 3 is live: keep the ts-3 version, cut ts 1..2.
+        {
+            let g = ebr::pin();
+            trim(&g, edge.head(), 3, &clock);
+        }
+        let mut len = 0;
+        let mut raw = edge.head();
+        while raw != 0 {
+            len += 1;
+            raw = unsafe { VersionRecord::from_raw(raw) }.prev();
+        }
+        assert_eq!(len, 2, "ts 4 head + kept ts 3 version");
+        assert_eq!(edge.read_at(&clock, 3), 30);
+        // No reader at all: everything behind the head goes.
+        {
+            let g = ebr::pin();
+            trim(&g, edge.head(), u64::MAX, &clock);
+        }
+        assert_eq!(unsafe { VersionRecord::from_raw(edge.head()) }.prev(), 0);
+        unsafe { dispose_chain(edge.head()) };
+        ebr::flush();
+    }
+
+    #[test]
+    fn registry_tracks_nested_snapshots() {
+        let clock = AtomicU64::new(10);
+        let reg = SnapRegistry::new();
+        assert_eq!(reg.min_active(), u64::MAX);
+        let t1 = reg.register(&clock);
+        assert_eq!(t1, 10);
+        assert!(reg.min_active() <= t1);
+        let t2 = reg.register(&clock); // nested, newer
+        assert_eq!(t2, 11);
+        assert!(reg.min_active() <= t1, "outer snapshot still pins the min");
+        reg.deregister();
+        assert!(reg.min_active() <= t1);
+        reg.deregister();
+        assert_eq!(reg.min_active(), u64::MAX);
+    }
+}

@@ -153,6 +153,11 @@ pub enum KeyDist {
     /// Roughly increasing keys from a shared counter, batches of 100
     /// (Fig. 5b's sorted distribution).
     Sorted,
+    /// Each thread draws uniformly from its own `max_key / threads`-sized
+    /// slice of the key space, so writers never touch the same keys — the
+    /// contended-writers scenario isolating *structural* publication
+    /// contention (e.g. a shared root CAS) from key conflicts.
+    Disjoint,
 }
 
 /// One experiment configuration.
@@ -202,10 +207,20 @@ pub struct RunResult {
     pub ops: [u64; 4],
     /// Wall-clock seconds measured.
     pub secs: f64,
-    /// Mean latency of sampled update operations (ns).
+    /// Mean latency of sampled update operations (ns), weighted by each
+    /// thread's sample *count* — not a mean of per-thread means, which let
+    /// threads with few (or zero) sampled ops distort the aggregate.
     pub update_latency_ns: f64,
-    /// Mean latency of sampled query operations (ns).
+    /// Mean latency of sampled query operations (ns); same weighting.
     pub query_latency_ns: f64,
+    /// Median sampled update latency (ns) across all threads (Fig. 9).
+    pub update_p50_ns: f64,
+    /// 99th-percentile sampled update latency (ns).
+    pub update_p99_ns: f64,
+    /// Median sampled query latency (ns).
+    pub query_p50_ns: f64,
+    /// 99th-percentile sampled query latency (ns).
+    pub query_p99_ns: f64,
 }
 
 impl RunResult {
@@ -254,6 +269,47 @@ pub fn prefill(set: &dyn BenchSet, max_key: u64, seed: u64) {
 /// Latency sampling period (1 of every 2^LAT_SHIFT ops is timed).
 const LAT_SHIFT: u32 = 6;
 
+/// Maximum recorded latency samples per thread per kind. At the sampling
+/// period above this covers ~4M ops per thread; beyond that recording
+/// stops (the totals keep accumulating, so means stay exact).
+const LAT_SAMPLE_CAP: usize = 1 << 16;
+
+/// Sampled latencies of one kind on one thread: exact `(total, count)`
+/// for the mean plus the recorded samples for percentiles.
+#[derive(Default)]
+struct LatAcc {
+    total_ns: u64,
+    count: u64,
+    samples: Vec<u64>,
+}
+
+impl LatAcc {
+    fn record(&mut self, ns: u64) {
+        self.total_ns += ns;
+        self.count += 1;
+        if self.samples.len() < LAT_SAMPLE_CAP {
+            self.samples.push(ns);
+        }
+    }
+}
+
+/// Everything one worker thread hands back to [`run`].
+struct WorkerOut {
+    total_ops: u64,
+    ops: [u64; 4],
+    upd: LatAcc,
+    qry: LatAcc,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set (0 if empty).
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
 /// Run one timed experiment and aggregate the counts.
 pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
     assert!(cfg.mix.total() == MIX_TOTAL, "op mix must sum to 100%");
@@ -269,6 +325,8 @@ pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
     };
 
     let mut result = RunResult::default();
+    let mut upd = LatAcc::default();
+    let mut qry = LatAcc::default();
     let started = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -281,20 +339,34 @@ pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
         std::thread::sleep(cfg.duration);
         stop.store(true, Ordering::SeqCst);
         for h in handles {
-            let w = h.join().expect("worker panicked");
+            let mut w = h.join().expect("worker panicked");
             result.total_ops += w.total_ops;
             for i in 0..4 {
                 result.ops[i] += w.ops[i];
             }
-            result.update_latency_ns += w.update_latency_ns;
-            result.query_latency_ns += w.query_latency_ns;
+            // Aggregate (total, count) pairs — the mean is over *samples*,
+            // so an idle thread contributes nothing instead of a zero.
+            upd.total_ns += w.upd.total_ns;
+            upd.count += w.upd.count;
+            upd.samples.append(&mut w.upd.samples);
+            qry.total_ns += w.qry.total_ns;
+            qry.count += w.qry.count;
+            qry.samples.append(&mut w.qry.samples);
         }
     });
     result.secs = started.elapsed().as_secs_f64();
-    if cfg.threads > 0 {
-        result.update_latency_ns /= cfg.threads as f64;
-        result.query_latency_ns /= cfg.threads as f64;
+    if upd.count > 0 {
+        result.update_latency_ns = upd.total_ns as f64 / upd.count as f64;
     }
+    if qry.count > 0 {
+        result.query_latency_ns = qry.total_ns as f64 / qry.count as f64;
+    }
+    upd.samples.sort_unstable();
+    qry.samples.sort_unstable();
+    result.update_p50_ns = percentile(&upd.samples, 0.50);
+    result.update_p99_ns = percentile(&upd.samples, 0.99);
+    result.query_p50_ns = percentile(&qry.samples, 0.50);
+    result.query_p99_ns = percentile(&qry.samples, 0.99);
     result
 }
 
@@ -306,19 +378,23 @@ fn worker(
     stop: &AtomicBool,
     sorted_counter: &AtomicU64,
     zipf: Option<&Zipf>,
-) -> RunResult {
+) -> WorkerOut {
     let mut rng = Xorshift::new(cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
     // Resolved once per run: if the adapter cannot execute the configured
     // query kind, the query share of the mix degrades to finds (counted as
     // finds) instead of panicking the worker.
     let query_supported = set.capabilities().supports(cfg.query);
-    let mut out = RunResult::default();
+    // Disjoint distribution: this thread's private slice of the key space.
+    let disjoint_span = (cfg.max_key / cfg.threads.max(1) as u64).max(1);
+    let disjoint_base = tid as u64 * disjoint_span;
+    let mut out = WorkerOut {
+        total_ops: 0,
+        ops: [0; 4],
+        upd: LatAcc::default(),
+        qry: LatAcc::default(),
+    };
     let mut sorted_batch_next = 0u64;
     let mut sorted_batch_end = 0u64;
-    let mut upd_ns = 0u64;
-    let mut upd_n = 0u64;
-    let mut q_ns = 0u64;
-    let mut q_n = 0u64;
     let mut op_idx = 0u64;
 
     while !stop.load(Ordering::Relaxed) {
@@ -348,6 +424,7 @@ fn worker(
                 sorted_batch_next += 1;
                 k % cfg.max_key
             }
+            KeyDist::Disjoint => disjoint_base + rng.below(disjoint_span),
         };
 
         op_idx += 1;
@@ -386,26 +463,14 @@ fn worker(
         if let Some(t0) = t0 {
             let ns = t0.elapsed().as_nanos() as u64;
             if kind <= 1 {
-                upd_ns += ns;
-                upd_n += 1;
+                out.upd.record(ns);
             } else if kind == 3 {
-                q_ns += ns;
-                q_n += 1;
+                out.qry.record(ns);
             }
         }
         out.ops[kind] += 1;
         out.total_ops += 1;
     }
-    out.update_latency_ns = if upd_n > 0 {
-        upd_ns as f64 / upd_n as f64
-    } else {
-        0.0
-    };
-    out.query_latency_ns = if q_n > 0 {
-        q_ns as f64 / q_n as f64
-    } else {
-        0.0
-    };
     out
 }
 
@@ -537,6 +602,58 @@ mod tests {
         assert_eq!(r.total_ops, r.ops.iter().sum::<u64>());
         assert!(r.secs > 0.04);
         assert!(r.mops() > 0.0);
+    }
+
+    #[test]
+    fn latency_aggregation_is_sample_weighted() {
+        let s = OracleSet::new();
+        let mut cfg = RunConfig::new(2, 1000);
+        cfg.duration = Duration::from_millis(60);
+        cfg.mix = OpMix::percent(25, 25, 25, 25);
+        let r = run(&s, &cfg);
+        // Sample-weighted means and nearest-rank percentiles are all
+        // positive and ordered for a mix that exercises both kinds.
+        assert!(r.update_latency_ns > 0.0);
+        assert!(r.query_latency_ns > 0.0);
+        assert!(r.update_p50_ns > 0.0 && r.update_p50_ns <= r.update_p99_ns);
+        assert!(r.query_p50_ns > 0.0 && r.query_p50_ns <= r.query_p99_ns);
+        // The mean lies within the sampled range.
+        assert!(r.update_latency_ns <= r.update_p99_ns * 64.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[42], 0.5), 42.0);
+        assert_eq!(percentile(&[42], 0.99), 42.0);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.50), 51.0); // round(99*0.5) = 50 -> v[50]
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn disjoint_dist_partitions_the_key_space() {
+        // With an insert-only disjoint workload, thread t draws only from
+        // [t*span, (t+1)*span): the run must stay within [0, max_key) and
+        // reach every thread's slice.
+        let s = OracleSet::new();
+        let mut cfg = RunConfig::new(4, 4000);
+        cfg.duration = Duration::from_millis(40);
+        cfg.mix = OpMix::percent(100, 0, 0, 0);
+        cfg.dist = KeyDist::Disjoint;
+        cfg.prefill = false;
+        let r = run(&s, &cfg);
+        assert!(r.ops[0] > 0);
+        let keys = s.0.lock().unwrap();
+        assert!(keys.iter().all(|&k| k < 4000));
+        for t in 0..4u64 {
+            assert!(
+                keys.range(t * 1000..(t + 1) * 1000).next().is_some(),
+                "slice {t} untouched"
+            );
+        }
     }
 
     #[test]

@@ -39,11 +39,28 @@ impl Xorshift {
         self.s1.wrapping_add(y)
     }
 
-    /// Uniform in `[0, bound)`.
+    /// Uniform in `[0, bound)` — exactly uniform, via Lemire's
+    /// multiply-shift with rejection (Lemire 2019, "Fast Random Integer
+    /// Generation in an Interval").
+    ///
+    /// The seed's `next_u64() % bound` over-weighted the low residues
+    /// whenever `bound` did not divide 2^64 (for `bound` near 2^63 some
+    /// keys were drawn *twice* as often), skewing every key distribution
+    /// built on it. The high 64 bits of the 128-bit product map the draw
+    /// into `[0, bound)`; draws landing in the short lower fringe of a
+    /// product bucket (probability < bound/2^64) are rejected and redrawn.
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
-        self.next_u64() % bound
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        if (m as u64) < bound {
+            // 2^64 mod bound, computed without u128 division.
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
@@ -137,6 +154,41 @@ mod tests {
         let mut r = Xorshift::new(7);
         for _ in 0..10_000 {
             assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_at_large_bounds() {
+        // bound = 3·2^62: the old `% bound` mapping gave every value in
+        // [0, 2^62) twice the probability of the rest, putting 1/2 of the
+        // mass below 2^62 where a uniform draw puts 1/3. A 40k-sample
+        // frequency test separates 1/3 from 1/2 by ~70 sigma.
+        let bound = 3u64 << 62;
+        let cut = 1u64 << 62;
+        let mut r = Xorshift::new(0xFEED);
+        const N: usize = 40_000;
+        let low = (0..N).filter(|_| r.below(bound) < cut).count();
+        let frac = low as f64 / N as f64;
+        assert!(
+            (0.30..0.37).contains(&frac),
+            "P(draw < 2^62) = {frac:.4}, want ≈ 1/3 (modulo bias gives 1/2)"
+        );
+    }
+
+    #[test]
+    fn below_is_uniform_at_small_bounds() {
+        let mut r = Xorshift::new(0xBEEF);
+        const BOUND: u64 = 13;
+        const PER: usize = 10_000;
+        let mut counts = [0usize; BOUND as usize];
+        for _ in 0..BOUND as usize * PER {
+            counts[r.below(BOUND) as usize] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (PER * 95 / 100..PER * 105 / 100).contains(&c),
+                "value {v} drawn {c} times, expected ≈{PER}"
+            );
         }
     }
 

@@ -4,7 +4,10 @@
 #
 # Two-file mode: any *optimized* result row present in both files
 # (matched on mix and threads) whose new throughput is more than the
-# threshold below the old one fails the check. Baseline rows are ignored
+# threshold below the old one fails the check, and any (mix, threads)
+# point present in the old file but MISSING from the new one fails too —
+# a dropped trajectory point used to slip through silently, letting a
+# regression hide by simply not being measured. Baseline rows are ignored
 # (they are intentionally de-optimized; noise there is not a regression).
 # Only meaningful for files recorded on the same host.
 #
@@ -69,6 +72,15 @@ else:
 common = sorted(set(old) & set(new))
 if not common:
     sys.exit(f"no comparable rows: {what}")
+
+if mode == "pair":
+    # Every point of the old trajectory must still be measured: a row
+    # that disappears cannot be regression-checked, so it is an error.
+    missing = sorted(set(old) - set(new))
+    for mix, threads in missing:
+        print(f"   MISSING  {mix:<16} TT={threads}: present in {old_path}, absent from {new_path}")
+    if missing:
+        sys.exit(f"{len(missing)} (mix, threads) point(s) from {old_path} missing in {new_path}")
 
 failures = []
 for key in common:

@@ -9,6 +9,7 @@
 //! * [`llxscx`] — LLX/SCX primitives from CAS;
 //! * [`ebr`] — epoch-based memory reclamation;
 //! * [`vcas`], [`fanout`] — unaugmented snapshot-tree comparators;
+//! * [`vedge`] — the versioned-edge machinery they share;
 //! * [`workloads`] — SetBench-style benchmark harness.
 //!
 //! See `examples/` for runnable end-to-end programs and `crates/bench`
@@ -26,4 +27,5 @@ pub use frbst;
 pub use frbst::{FrMap, FrSet};
 pub use llxscx;
 pub use vcas;
+pub use vedge;
 pub use workloads;
