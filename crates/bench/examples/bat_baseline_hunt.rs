@@ -1,0 +1,41 @@
+//! Reproducer harness for the rare BAT-baseline liveness/memory bug
+//! tracked in ROADMAP.md ("Rare liveness/memory bug in the BAT
+//! *baseline* hot path"): replicates `bench_pr4` section 1's baseline
+//! half — 3 mixes × TT 1,2,4,8 × 3 trials of 600 ms on
+//! `BatAdapter::plain` with the baseline (pool-bypassing) hot path —
+//! where one livelock and one SIGSEGV were observed across six full
+//! sweeps. Run with `cargo run --release -p bench --example
+//! bat_baseline_hunt -- <iterations>`; 12 iterations (~430 runs) have
+//! not yet reproduced it, so expect long campaigns (a debug build adds
+//! the `refresh_nil` leaf assert, which should fire earlier than the
+//! null-pointer crash).
+use std::time::Duration;
+use workloads::{OpMix, QueryKind, RunConfig};
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(10);
+    let mixes = [[50u32, 50, 0, 0], [25, 25, 40, 10], [5, 5, 60, 30]];
+    for it in 0..iters {
+        cbat_core::hotpath::set_baseline(true);
+        for (mi, mix) in mixes.iter().enumerate() {
+            for tt in [1usize, 2, 4, 8] {
+                for trial in 0..3usize {
+                    let mut c = RunConfig::new(tt, 1 << 15);
+                    c.mix = OpMix::percent(mix[0], mix[1], mix[2], mix[3]);
+                    c.query = QueryKind::RangeCount { size: 100 };
+                    c.duration = Duration::from_millis(600);
+                    c.seed = 0x00BE_9C42 ^ (trial as u64) << 32 ^ tt as u64;
+                    let s = bench::BatAdapter::plain();
+                    workloads::run(&s, &c);
+                    ebr::flush();
+                }
+                eprintln!("iter {it} mix {mi} TT={tt} ok");
+            }
+        }
+        cbat_core::hotpath::set_baseline(false);
+        eprintln!("== iter {it} done ==");
+    }
+    eprintln!("ALL OK");
+}

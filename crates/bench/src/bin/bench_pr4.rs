@@ -1,0 +1,473 @@
+//! `bench_pr4` — the PR 4 sweep: everything `bench_pr3` tracked, plus the
+//! per-edge publication-granularity scenarios this PR adds.
+//!
+//! 1. **BAT mixes** (trajectory continuity): the three PR 2/3 scenario
+//!    mixes × baseline/optimized hot path × thread counts, so
+//!    `scripts/bench_compare.sh` can diff `BENCH_PR3.json` against this
+//!    file point-for-point (throughput *and* p99 update latency).
+//! 2. **Contended writers** (PR 3 gate, kept): disjoint per-thread key
+//!    slices on the fanout tree — single-root CAS baseline vs
+//!    versioned-edge optimized. These rows must stay within the
+//!    regression threshold of `BENCH_PR3.json`.
+//! 3. **Same-slice adversary** (the PR 4 tentpole gate): all writers
+//!    hammer ONE 16-key slice (`KeyDist::SameSlice`), so every
+//!    publication lands under the same few sibling leaves. `baseline` =
+//!    [`bench::PerHolderFanoutAdapter`] (PR 3's holder-granular freeze),
+//!    `optimized` = [`bench::FanoutAdapter`] (per-edge freeze). Every row
+//!    carries the SCX **abort rate** from the striped publication
+//!    counters — on few-core hosts the conflict-window shrink shows up
+//!    there even when throughput is scheduler-bound.
+//! 4. **Zipf / sorted-stream scenarios** (trajectory continuity, BAT).
+//! 5. **Fig. 9 latency-vs-throughput**: sweep offered load (paced
+//!    workers) on BAT's mixed mix and record achieved throughput plus
+//!    p50/p99 update latency per point.
+//! 6. **Adapter sweep**: every adapter × every mix × every distribution
+//!    (now including same-slice) — completing the loop asserts no
+//!    scenario panics on any adapter.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_pr4 -- \
+//!     [--pr 4] [--threads 1,2,4,8] [--duration-ms 500] [--trials 3] \
+//!     [--max-key 32768] [--out BENCH_PR<pr>.json]
+//! ```
+
+use std::time::Duration;
+
+use bench::{
+    full_lineup, BatAdapter, FanoutAdapter, PerHolderFanoutAdapter, SingleRootFanoutAdapter,
+};
+use workloads::{BenchSet, KeyDist, OpMix, QueryKind, RunConfig, RunResult};
+
+/// The scenario mixes shared with `bench_pr2`/`bench_pr3` (name,
+/// paper-style mix string, shares in percent: insert-delete-find-query).
+const MIXES: [(&str, &str, [u32; 4]); 3] = [
+    ("update-heavy", "50i-50d-0f-0rq", [50, 50, 0, 0]),
+    ("mixed", "25i-25d-40f-10rq", [25, 25, 40, 10]),
+    ("query-heavy", "5i-5d-60f-30rq", [5, 5, 60, 30]),
+];
+
+struct Opts {
+    pr: u32,
+    threads: Vec<usize>,
+    duration: Duration,
+    trials: usize,
+    max_key: u64,
+    out: Option<String>,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let mut o = Opts {
+            pr: 4,
+            threads: vec![1, 2, 4, 8],
+            duration: Duration::from_millis(500),
+            trials: 3,
+            max_key: 1 << 15,
+            out: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut val = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match a.as_str() {
+                "--pr" => o.pr = val("--pr").parse().expect("pr number"),
+                "--threads" => {
+                    o.threads = val("--threads")
+                        .split(',')
+                        .map(|t| t.parse().expect("thread count"))
+                        .collect();
+                }
+                "--duration-ms" => {
+                    o.duration = Duration::from_millis(val("--duration-ms").parse().expect("ms"));
+                }
+                "--trials" => o.trials = val("--trials").parse().expect("trials"),
+                "--max-key" => o.max_key = val("--max-key").parse().expect("max key"),
+                "--out" => o.out = Some(val("--out")),
+                other => panic!("unknown option {other}"),
+            }
+        }
+        assert!(
+            !o.threads.is_empty() && o.threads.iter().all(|&t| t >= 1),
+            "--threads needs a comma-separated list of counts >= 1"
+        );
+        assert!(o.trials >= 1, "--trials must be >= 1");
+        o
+    }
+
+    fn out(&self) -> String {
+        self.out
+            .clone()
+            .unwrap_or_else(|| format!("BENCH_PR{}.json", self.pr))
+    }
+}
+
+fn config(opts: &Opts, mix: [u32; 4], threads: usize, trial: usize) -> RunConfig {
+    let mut cfg = RunConfig::new(threads, opts.max_key);
+    cfg.mix = OpMix::percent(mix[0], mix[1], mix[2], mix[3]);
+    cfg.query = QueryKind::RangeCount { size: 100 };
+    cfg.dist = KeyDist::Uniform;
+    cfg.duration = opts.duration;
+    cfg.seed = 0x00BE_9C42 ^ (trial as u64) << 32 ^ threads as u64;
+    cfg
+}
+
+struct Row {
+    mix: String,
+    mode: &'static str,
+    threads: usize,
+    mops: f64,
+    upd_p50_ns: f64,
+    upd_p99_ns: f64,
+    abort_rate: f64,
+    retry_rate: f64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"mix\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"mops\": {:.6}, \
+             \"upd_p50_ns\": {:.0}, \"upd_p99_ns\": {:.0}, \"abort_rate\": {:.6}, \
+             \"retry_rate\": {:.6}}}",
+            self.mix,
+            self.mode,
+            self.threads,
+            self.mops,
+            self.upd_p50_ns,
+            self.upd_p99_ns,
+            self.abort_rate,
+            self.retry_rate
+        )
+    }
+
+    fn from(mix: &str, mode: &'static str, threads: usize, mops: f64, r: &RunResult) -> Row {
+        Row {
+            mix: mix.to_string(),
+            mode,
+            threads,
+            mops,
+            upd_p50_ns: r.update_p50_ns,
+            upd_p99_ns: r.update_p99_ns,
+            abort_rate: r.abort_rate(),
+            retry_rate: r.retry_rate(),
+        }
+    }
+}
+
+/// Best-of-`trials` throughput for one (set-builder, cfg) point. The
+/// returned result is the best-throughput trial, except `update_p99_ns`
+/// is replaced by the *median* per-trial p99: the best-throughput
+/// trial's own tail is a single noisy order statistic on a shared host,
+/// while the median across trials is stable enough to regression-guard.
+fn best_of(
+    opts: &Opts,
+    label: &str,
+    mode: &'static str,
+    threads: usize,
+    make_set: impl Fn() -> Box<dyn BenchSet>,
+    make_cfg: impl Fn(usize) -> RunConfig,
+) -> (f64, RunResult) {
+    let mut best = RunResult::default();
+    let mut best_mops = 0.0f64;
+    let mut p99s = Vec::new();
+    for trial in 0..opts.trials {
+        let set = make_set();
+        let r = workloads::run(set.as_ref(), &make_cfg(trial));
+        eprintln!(
+            "  {label:>18} {mode:>9} TT={threads} trial {trial}: {:.3} Mops/s \
+             (upd p50 {:.0} ns, p99 {:.0} ns, abort rate {:.4})",
+            r.mops(),
+            r.update_p50_ns,
+            r.update_p99_ns,
+            r.abort_rate()
+        );
+        p99s.push(r.update_p99_ns);
+        if r.mops() > best_mops {
+            best_mops = r.mops();
+            best = r;
+        }
+        ebr::flush();
+    }
+    p99s.sort_by(f64::total_cmp);
+    best.update_p99_ns = p99s[p99s.len() / 2];
+    (best_mops, best)
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- 1. BAT mixes, baseline first (cold pools cannot flatter it). ---
+    for &mode in &["baseline", "optimized"] {
+        eprintln!("== BAT {mode} hot path ==");
+        cbat_core::hotpath::set_baseline(mode == "baseline");
+        for mix in &MIXES {
+            for &tt in &opts.threads {
+                let (mops, r) = best_of(
+                    &opts,
+                    mix.0,
+                    mode,
+                    tt,
+                    || Box::new(BatAdapter::plain()),
+                    |trial| config(&opts, mix.2, tt, trial),
+                );
+                rows.push(Row::from(mix.1, mode, tt, mops, &r));
+            }
+        }
+    }
+    cbat_core::hotpath::set_baseline(false);
+
+    let mut gains = Vec::new();
+    for (_, mix, _) in &MIXES {
+        for &tt in &opts.threads {
+            let at = |mode: &str| {
+                rows.iter()
+                    .find(|r| r.mode == mode && r.mix == *mix && r.threads == tt)
+                    .expect("swept row")
+                    .mops
+            };
+            let (base, opt) = (at("baseline"), at("optimized"));
+            let gain = opt / base - 1.0;
+            eprintln!(
+                "{mix} TT={tt}: baseline {base:.3} -> optimized {opt:.3} Mops/s ({:+.1}%)",
+                gain * 100.0
+            );
+            gains.push(format!(
+                "    {{\"mix\": \"{mix}\", \"threads\": {tt}, \"gain\": {gain:.4}}}"
+            ));
+        }
+    }
+
+    // --- 2. Contended writers (PR 3 gate): single-root vs versioned. ---
+    eprintln!("== contended-writers: fanout publication schemes ==");
+    let contended_cfg = |opts: &Opts, tt: usize, trial: usize| {
+        let mut cfg = config(opts, [50, 50, 0, 0], tt, trial);
+        cfg.dist = KeyDist::Disjoint;
+        cfg
+    };
+    let mut fanout_gains = Vec::new();
+    for &tt in &opts.threads {
+        let (base, rb) = best_of(
+            &opts,
+            "contended-writers",
+            "baseline",
+            tt,
+            || Box::new(SingleRootFanoutAdapter::new()),
+            |trial| contended_cfg(&opts, tt, trial),
+        );
+        let (opt, ro) = best_of(
+            &opts,
+            "contended-writers",
+            "optimized",
+            tt,
+            || Box::new(FanoutAdapter::new()),
+            |trial| contended_cfg(&opts, tt, trial),
+        );
+        rows.push(Row::from("contended-writers", "baseline", tt, base, &rb));
+        rows.push(Row::from("contended-writers", "optimized", tt, opt, &ro));
+        let gain = opt / base - 1.0;
+        eprintln!(
+            "contended-writers TT={tt}: single-root {base:.3} -> versioned-edges {opt:.3} Mops/s ({:+.1}%)",
+            gain * 100.0
+        );
+        fanout_gains.push(format!(
+            "    {{\"threads\": {tt}, \"single_root_mops\": {base:.6}, \
+             \"versioned_mops\": {opt:.6}, \"gain\": {gain:.4}}}"
+        ));
+    }
+
+    // --- 3. Same-slice adversary (PR 4 gate): per-holder vs per-edge. ---
+    eprintln!("== same-slice adversary: publication granularity ==");
+    let same_slice_cfg = |opts: &Opts, tt: usize, trial: usize| {
+        let mut cfg = config(opts, [50, 50, 0, 0], tt, trial);
+        cfg.dist = KeyDist::SameSlice;
+        cfg
+    };
+    let mut granularity_rows = Vec::new();
+    for &tt in &opts.threads {
+        let (holder, rh) = best_of(
+            &opts,
+            "same-slice",
+            "baseline",
+            tt,
+            || Box::new(PerHolderFanoutAdapter::new()),
+            |trial| same_slice_cfg(&opts, tt, trial),
+        );
+        let (edge, re) = best_of(
+            &opts,
+            "same-slice",
+            "optimized",
+            tt,
+            || Box::new(FanoutAdapter::new()),
+            |trial| same_slice_cfg(&opts, tt, trial),
+        );
+        rows.push(Row::from("same-slice", "baseline", tt, holder, &rh));
+        rows.push(Row::from("same-slice", "optimized", tt, edge, &re));
+        let gain = edge / holder - 1.0;
+        let abort_improvement = if re.abort_rate() > 0.0 {
+            rh.abort_rate() / re.abort_rate()
+        } else if rh.abort_rate() > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        eprintln!(
+            "same-slice TT={tt}: per-holder {holder:.3} (abort {:.4}) -> per-edge {edge:.3} \
+             Mops/s (abort {:.4}) ({:+.1}% tput, {abort_improvement:.1}x lower abort rate)",
+            rh.abort_rate(),
+            re.abort_rate(),
+            gain * 100.0
+        );
+        granularity_rows.push(format!(
+            "    {{\"threads\": {tt}, \"per_holder_mops\": {holder:.6}, \
+             \"per_edge_mops\": {edge:.6}, \"gain\": {gain:.4}, \
+             \"per_holder_abort_rate\": {:.6}, \"per_edge_abort_rate\": {:.6}, \
+             \"per_holder_retry_rate\": {:.6}, \"per_edge_retry_rate\": {:.6}}}",
+            rh.abort_rate(),
+            re.abort_rate(),
+            rh.retry_rate(),
+            re.retry_rate()
+        ));
+    }
+
+    // --- 4. Zipf and sorted-stream scenario points (trajectory). ---
+    eprintln!("== key-distribution scenarios (BAT, optimized) ==");
+    for (name, dist, prefill) in [
+        ("zipf-0.95", KeyDist::Zipf(0.95), true),
+        ("sorted-stream", KeyDist::Sorted, false),
+    ] {
+        for &tt in &opts.threads {
+            let (mops, r) = best_of(
+                &opts,
+                name,
+                "optimized",
+                tt,
+                || Box::new(BatAdapter::plain()),
+                |trial| {
+                    let mut cfg = config(&opts, [25, 25, 40, 10], tt, trial);
+                    cfg.dist = dist;
+                    cfg.prefill = prefill;
+                    cfg
+                },
+            );
+            rows.push(Row::from(name, "optimized", tt, mops, &r));
+        }
+    }
+
+    // --- 5. Fig. 9: latency vs (offered) throughput, paced workers. ---
+    eprintln!("== Fig. 9 latency-vs-throughput sweep (BAT, mixed mix) ==");
+    let fig9_tt = *opts.threads.iter().max().unwrap().min(&4);
+    let (saturated, _) = best_of(
+        &opts,
+        "fig9-saturation",
+        "optimized",
+        fig9_tt,
+        || Box::new(BatAdapter::plain()),
+        |trial| config(&opts, [25, 25, 40, 10], fig9_tt, trial),
+    );
+    let mut fig9 = Vec::new();
+    for frac in [0.2, 0.4, 0.6, 0.8, 0.9, 1.0] {
+        let offered = saturated * frac;
+        let (_, r) = best_of(
+            &opts,
+            "fig9-point",
+            "optimized",
+            fig9_tt,
+            || Box::new(BatAdapter::plain()),
+            |trial| {
+                let mut cfg = config(&opts, [25, 25, 40, 10], fig9_tt, trial);
+                // frac == 1.0 runs unthrottled (closed-loop saturation).
+                cfg.offered_mops = if frac < 1.0 { offered } else { 0.0 };
+                cfg
+            },
+        );
+        eprintln!(
+            "fig9 offered {:.3} Mops/s: achieved {:.3}, upd p50 {:.0} ns, p99 {:.0} ns",
+            offered,
+            r.mops(),
+            r.update_p50_ns,
+            r.update_p99_ns
+        );
+        fig9.push(format!(
+            "    {{\"threads\": {fig9_tt}, \"offered_mops\": {offered:.6}, \
+             \"achieved_mops\": {:.6}, \"upd_p50_ns\": {:.0}, \"upd_p99_ns\": {:.0}, \
+             \"qry_p50_ns\": {:.0}, \"qry_p99_ns\": {:.0}}}",
+            r.mops(),
+            r.update_p50_ns,
+            r.update_p99_ns,
+            r.query_p50_ns,
+            r.query_p99_ns
+        ));
+    }
+
+    // --- 6. Adapter sweep: every adapter × mix × distribution. ---
+    // Completing this loop is itself the assertion that no scenario
+    // panics on any adapter.
+    eprintln!("== adapter sweep ==");
+    let mut sweep = Vec::new();
+    for mix in &MIXES {
+        for (dist_name, dist) in [
+            ("uniform", KeyDist::Uniform),
+            ("zipf-0.95", KeyDist::Zipf(0.95)),
+            ("disjoint", KeyDist::Disjoint),
+            ("same-slice", KeyDist::SameSlice),
+        ] {
+            for set in full_lineup() {
+                let mut cfg = config(&opts, mix.2, opts.threads[0].max(2), 0);
+                cfg.dist = dist;
+                cfg.duration = opts.duration.min(Duration::from_millis(150));
+                let r = workloads::run(set.as_ref(), &cfg);
+                assert!(
+                    r.total_ops > 0,
+                    "{} did no work on {}/{dist_name}",
+                    set.name(),
+                    mix.0
+                );
+                sweep.push(format!(
+                    "    {{\"adapter\": \"{}\", \"mix\": \"{}\", \"dist\": \"{dist_name}\", \
+                     \"mops\": {:.6}}}",
+                    set.name(),
+                    mix.1,
+                    r.mops()
+                ));
+                ebr::flush();
+            }
+        }
+        eprintln!("  {:>12}: all adapters x all dists ok", mix.0);
+    }
+
+    let json_rows: Vec<String> = rows.iter().map(Row::json).collect();
+    let json = format!(
+        "{{\n  \"pr\": {},\n  \"title\": \"per-edge publication granularity + same-slice adversary + Fig. 9 sweep\",\n  \
+         \"workload\": {{\"dist\": \"uniform\", \"max_key\": {}, \"prefill\": true, \
+         \"duration_ms\": {}, \"trials\": {}, \"structure\": \"BAT\", \"rq_size\": 100, \
+         \"host_cores\": {}}},\n  \
+         \"caveats\": \"On a 1-core host the same-slice granularity gap is scheduler-bound: \
+publication windows are ~100ns and never overlap in real time, and the lock-free helping \
+protocol resolves the rare preemption-spanning conflicts, so both granularities measure \
+near-zero abort rates. The conflict-window property itself is proven deterministically by \
+crates/fanout's sibling_publish_overlap_conflict_window test (protocol-level overlap: \
+per-edge commits where per-holder aborts); multicore measurement remains the ROADMAP item.\",\n  \
+         \"results\": [\n{}\n  ],\n  \"throughput_gain\": [\n{}\n  ],\n  \
+         \"fanout_contended_gain\": [\n{}\n  ],\n  \"fanout_same_slice\": [\n{}\n  ],\n  \
+         \"fig9\": [\n{}\n  ],\n  \"adapter_sweep\": [\n{}\n  ]\n}}\n",
+        opts.pr,
+        opts.max_key,
+        opts.duration.as_millis(),
+        opts.trials,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        json_rows.join(",\n"),
+        gains.join(",\n"),
+        fanout_gains.join(",\n"),
+        granularity_rows.join(",\n"),
+        fig9.join(",\n"),
+        sweep.join(",\n"),
+    );
+    let out = opts.out();
+    std::fs::write(&out, &json).expect("write json");
+    eprintln!("wrote {out}");
+    print!("{json}");
+}

@@ -18,7 +18,7 @@ use chromatic::ChromaticSet;
 use fanout::{FanoutSet, SingleRootFanoutSet};
 use frbst::FrSet;
 use vcas::VcasSet;
-use workloads::{BenchSet, Capabilities};
+use workloads::{BenchSet, Capabilities, ContentionCounters};
 
 /// Default delegation timeout used by the benchmark variants (keeps every
 /// variant non-blocking, per §5's timeout note).
@@ -87,6 +87,19 @@ impl BenchSet for BatAdapter {
     }
     fn name(&self) -> &'static str {
         self.name
+    }
+    fn contention(&self) -> Option<ContentionCounters> {
+        // BAT's publication contention lives in its version-pointer CAS
+        // traffic; the cache-padded per-thread `BatStats` stripes already
+        // count attempts and failures.
+        let s = self.set.stats().snapshot();
+        Some(ContentionCounters {
+            attempts: s.cas_attempts,
+            aborts: s.cas_failures,
+            // BAT refreshes re-run after a failed version CAS: each
+            // failure is one retried refresh.
+            retries: s.cas_failures,
+        })
     }
 }
 
@@ -199,10 +212,11 @@ impl BenchSet for VcasAdapter {
     }
 }
 
-/// Both fanout trees expose the same set/snapshot API; one macro body
-/// serves the live adapter and the publication-scheme ablation.
+/// All fanout trees expose the same set/snapshot API (including
+/// `pub_stats`); one macro body serves the live adapter and both
+/// publication-scheme ablations.
 macro_rules! fanout_adapter {
-    ($(#[$doc:meta])* $adapter:ident, $set:ty, $name:literal) => {
+    ($(#[$doc:meta])* $adapter:ident, $set:ty, $ctor:expr, $name:literal) => {
         $(#[$doc])*
         pub struct $adapter {
             set: $set,
@@ -212,7 +226,7 @@ macro_rules! fanout_adapter {
         impl $adapter {
             pub fn new() -> Self {
                 $adapter {
-                    set: <$set>::new(),
+                    set: $ctor,
                     approx_size: AtomicI64::new(0),
                 }
             }
@@ -258,15 +272,37 @@ macro_rules! fanout_adapter {
             fn name(&self) -> &'static str {
                 $name
             }
+            fn contention(&self) -> Option<ContentionCounters> {
+                let s = self.set.pub_stats();
+                Some(ContentionCounters {
+                    attempts: s.attempts,
+                    aborts: s.aborts,
+                    retries: s.retries,
+                })
+            }
         }
     };
 }
 
 fanout_adapter!(
-    /// Higher-fanout snapshot baseline (VerlibBTree stand-in).
+    /// Higher-fanout snapshot baseline (VerlibBTree stand-in), publishing
+    /// at per-edge conflict granularity.
     FanoutAdapter,
     FanoutSet,
+    FanoutSet::new(),
     "VerlibBTree*"
+);
+
+fanout_adapter!(
+    /// The PR 3 fanout tree publication scheme (versioned edges, but the
+    /// whole holder node frozen per publish) — the conflict-granularity
+    /// ablation `bench_pr4`'s same-slice scenario measures
+    /// [`FanoutAdapter`] against. Identical structure and pools; only the
+    /// freeze granularity differs.
+    PerHolderFanoutAdapter,
+    FanoutSet,
+    FanoutSet::new_per_holder(),
+    "VerlibBTree* (per-holder)"
 );
 
 fanout_adapter!(
@@ -276,6 +312,7 @@ fanout_adapter!(
     /// identical; only the publication mechanism differs.
     SingleRootFanoutAdapter,
     SingleRootFanoutSet,
+    SingleRootFanoutSet::new(),
     "VerlibBTree* (single-root)"
 );
 
@@ -353,6 +390,7 @@ pub fn full_lineup() -> Vec<Box<dyn BenchSet>> {
     all.push(Box::new(BatAdapter::del()));
     all.push(Box::new(ChromaticAdapter::new()));
     all.push(Box::new(SingleRootFanoutAdapter::new()));
+    all.push(Box::new(PerHolderFanoutAdapter::new()));
     all
 }
 

@@ -281,6 +281,12 @@ where
     pub fn as_map(&self) -> &BatMap<K, (), A> {
         &self.map
     }
+
+    /// The striped work counters of the underlying map (per-thread
+    /// cache-padded stripes; see [`crate::stats::BatStats`]).
+    pub fn stats(&self) -> &BatStats {
+        &self.map.stats
+    }
 }
 
 impl<K, A> Default for BatSet<K, A>

@@ -12,7 +12,8 @@
 //! * **per-subtree publication** ⇒ updates on disjoint subtrees commit
 //!   concurrently instead of serializing on one root word.
 //!
-//! ## Mechanism: per-subtree versioned edges (PR 3 tentpole)
+//! ## Mechanism: per-subtree versioned edges (PR 3) at per-edge
+//! publication granularity (PR 4 tentpole)
 //!
 //! Until PR 3 this tree was an immutable COW B-tree under a *single*
 //! atomic root pointer: every update copied the whole root-to-leaf path
@@ -20,22 +21,29 @@
 //! however disjoint their keys — contended on one word (that scheme
 //! survives as [`single_root::SingleRootFanoutSet`], the benchmark
 //! ablation). Now every internal node's child slots are independently
-//! CAS-able **versioned edges** ([`vedge::VersionedEdge`]), the mechanism
-//! of Wei et al. (PPoPP 2021 \[33\]) that verlib generalizes:
+//! CAS-able **versioned edges** (the mechanism of Wei et al., PPoPP 2021
+//! \[33\], that verlib generalizes), each carrying its *own* LLX/SCX
+//! freeze word ([`vedge::PubEdge`]):
 //!
 //! * an update copies only the nodes whose *contents* change — the leaf,
 //!   plus any ancestors a split cascade restructures — and publishes by
 //!   installing one new [`vedge::VersionRecord`] on the deepest edge
 //!   covering the change;
-//! * the publish is an LLX/SCX (\[6\]) that freezes the edge's holder and
-//!   finalizes every replaced internal node, so a concurrent update that
-//!   raced into a replaced subtree fails its own SCX and retries from the
-//!   root — updates under *different* parents share no frozen records and
-//!   commit concurrently;
+//! * the publish is an LLX/SCX (\[6\]) that freezes **only the one edge
+//!   it publishes on** — not the node holding it — so two writers under
+//!   the same parent on *different* child slots share no frozen records
+//!   and commit concurrently (PR 3 froze the whole holder node, aborting
+//!   same-parent siblings; that scheme is retained runtime-selectably via
+//!   [`FanoutSet::new_per_holder`] as the granularity ablation);
+//! * a split cascade still invalidates everything inside the region it
+//!   replaces: the publication freezes and finalizes **every occupied
+//!   edge of every replaced internal**, so a straggler about to publish
+//!   on a replaced edge fails its freeze (or sees the edge finalized) and
+//!   retries from the root;
 //! * snapshot readers grab a timestamp from the set's clock and traverse
 //!   every edge at that timestamp ([`vedge::VersionedEdge::read_at`]), so
-//!   a snapshot is one consistent cut even while edges all over the tree
-//!   keep moving — no torn multi-edge states.
+//!   a snapshot is one consistent cut even while sibling edges under one
+//!   parent keep moving — no torn multi-edge states.
 //!
 //! **Allocation discipline** (PR 1/2 invariant, preserved): nodes keep
 //! their arrays inline at fixed capacity (one `(size, align)` class) and
@@ -47,8 +55,9 @@
 //! the counting-allocator window in `crates/core/tests/zero_alloc_hot_path.rs`.
 //!
 //! Substitution notes (DESIGN.md §2.5): verlib's lock-based versioned
-//! nodes are replaced by the workspace's LLX/SCX coordination (same
-//! conflict granularity: one frozen holder per publish). Deletions do not
+//! nodes are replaced by the workspace's LLX/SCX coordination — at edge
+//! granularity by default (one frozen edge per non-split publish), or one
+//! frozen holder per publish in the ablation mode. Deletions do not
 //! rebalance (no merging); persistent B-trees tolerate thin leaves with
 //! the same asymptotics. Version-list GC is the writer-driven trim above
 //! rather than \[33\]'s background scheme.
@@ -56,8 +65,9 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use llxscx::{llx, scx, InfoTag, Linked, Llx, RecordHeader, MAX_V};
-use vedge::{SnapRegistry, VersionRecord, VersionedEdge};
+use ebr::CachePadded;
+use llxscx::{llx, scx, Linked, Llx, RecordHeader, MAX_V};
+use vedge::{PubEdge, SnapRegistry, VersionRecord};
 
 pub mod single_root;
 pub use single_root::{SingleRootFanoutSet, SingleRootSnapshot};
@@ -67,16 +77,22 @@ pub(crate) const LEAF_CAP: usize = 16;
 /// Maximum children per internal node before splitting.
 pub(crate) const NODE_CAP: usize = 16;
 
-/// A fixed-capacity tree node behind an LLX/SCX record header. Leaf
-/// contents are immutable (leaves are replaced wholesale); an internal
-/// node's separators are immutable but its child `edges` are mutable
-/// versioned pointers. Both variants share one `(size, align)` class for
-/// the EBR pool.
+/// A fixed-capacity tree node. Leaf contents are immutable (leaves are
+/// replaced wholesale); an internal node's separators are immutable but
+/// its child `edges` are mutable versioned pointers, each carrying its own
+/// freeze word ([`PubEdge`]). The node-level `header` is the freeze target
+/// of the *per-holder* ablation mode only; in the default per-edge mode a
+/// publication freezes edge records instead. Both variants share one
+/// `(size, align)` class for the EBR pool.
 struct BNode {
     header: RecordHeader,
     body: Body,
 }
 
+// One `(size, align)` class for the EBR pool is the point: leaves and
+// internals are allocated from (and recycled into) the same free list, so
+// the size asymmetry from the per-edge freeze words is deliberate.
+#[allow(clippy::large_enum_variant)]
 enum Body {
     /// Sorted keys in `keys[..len]`.
     Leaf { len: u8, keys: [u64; LEAF_CAP] },
@@ -85,7 +101,7 @@ enum Body {
     Internal {
         len: u8,
         seps: [u64; NODE_CAP - 1],
-        edges: [VersionedEdge; NODE_CAP],
+        edges: [PubEdge; NODE_CAP],
     },
 }
 
@@ -110,9 +126,9 @@ impl BNode {
         seps[..sp.len()].copy_from_slice(sp);
         let edges = std::array::from_fn(|i| {
             if i < ch.len() {
-                VersionedEdge::new(ch[i])
+                PubEdge::new(ch[i])
             } else {
-                VersionedEdge::null()
+                PubEdge::null()
             }
         });
         Self::alloc(Body::Internal {
@@ -145,7 +161,7 @@ impl BNode {
 
     /// `(seps, edges)` occupied prefixes (internal nodes only).
     #[inline]
-    fn fan(&self) -> (&[u64], &[VersionedEdge]) {
+    fn fan(&self) -> (&[u64], &[PubEdge]) {
         match &self.body {
             Body::Internal { len, seps, edges } => {
                 (&seps[..*len as usize - 1], &edges[..*len as usize])
@@ -202,6 +218,17 @@ struct PathEntry {
 struct Scratch {
     path: Vec<PathEntry>,
     fresh: Vec<u64>,
+    /// Raw pointers of cascade-replaced internal nodes (retired on commit).
+    replaced: Vec<u64>,
+    /// Load-linked records beyond the publication record, collected
+    /// bottom-up per cascade level: per-holder mode stores one node header
+    /// per replaced internal, per-edge mode every occupied edge of it.
+    links: Vec<Linked>,
+    /// Start index in `links` of each cascade level (bottom-up), so the
+    /// publish can freeze levels top-down (traversal order, per \[6\]).
+    level_starts: Vec<usize>,
+    /// The assembled SCX freeze set.
+    vset: Vec<Linked>,
 }
 
 thread_local! {
@@ -209,8 +236,101 @@ thread_local! {
         RefCell::new(Scratch {
             path: Vec::new(),
             fresh: Vec::new(),
+            replaced: Vec::new(),
+            links: Vec::new(),
+            level_starts: Vec::new(),
+            vset: Vec::new(),
         })
     };
+}
+
+// ---------------------------------------------------------------------------
+// Publication-outcome counters.
+// ---------------------------------------------------------------------------
+
+/// One thread's publication counters, cache-padded so stripes never share
+/// a line (same striping pattern as `cbat_core`'s `BatStats`).
+#[derive(Default)]
+struct PubStripe {
+    attempts: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Per-set striped SCX publication counters: `attempts` counts publish
+/// SCXes issued, `aborts` the SCXes a conflicting operation invalidated,
+/// `commits` the successes, and `retries` every update attempt restarted
+/// for any reason (failed LLX, stale head, or SCX abort). The abort rate
+/// is the direct measurement of the publication conflict window — the
+/// quantity per-edge granularity shrinks relative to per-holder.
+pub struct PubStats {
+    stripes: Box<[CachePadded<PubStripe>]>,
+}
+
+impl Default for PubStats {
+    fn default() -> Self {
+        PubStats {
+            stripes: (0..ebr::MAX_THREADS)
+                .map(|_| CachePadded::new(PubStripe::default()))
+                .collect(),
+        }
+    }
+}
+
+impl PubStats {
+    #[inline]
+    fn stripe(&self) -> &PubStripe {
+        &self.stripes[ebr::thread_id()]
+    }
+
+    #[inline]
+    pub(crate) fn incr_attempt(&self) {
+        self.stripe().attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn incr_commit(&self) {
+        self.stripe().commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn incr_abort(&self) {
+        self.stripe().aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn incr_retry(&self) {
+        self.stripe().retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum the stripes into a plain-data snapshot.
+    pub fn snapshot(&self) -> PubSnapshot {
+        let mut s = PubSnapshot::default();
+        for stripe in self.stripes.iter() {
+            s.attempts += stripe.attempts.load(Ordering::Relaxed);
+            s.commits += stripe.commits.load(Ordering::Relaxed);
+            s.aborts += stripe.aborts.load(Ordering::Relaxed);
+            s.retries += stripe.retries.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+/// Plain-data view of [`PubStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PubSnapshot {
+    pub attempts: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub retries: u64,
+}
+
+impl PubSnapshot {
+    /// Fraction of publish SCXes that a concurrent conflict aborted.
+    pub fn abort_rate(&self) -> f64 {
+        self.aborts as f64 / self.attempts.max(1) as f64
+    }
 }
 
 /// Result of applying an update to one level of the tree.
@@ -225,16 +345,23 @@ enum Updated {
 
 /// The higher-fanout unaugmented set (see module docs).
 pub struct FanoutSet {
-    /// LLX/SCX record standing in for "the holder of the root edge": the
-    /// root publication freezes this instead of a parent node. Never
+    /// The root edge, a [`PubEdge`] like every other slot: its embedded
+    /// record is the "root pseudo-holder" both granularities freeze for a
+    /// root publication (the tree has no parent node above it). Never
     /// finalized.
-    anchor: RecordHeader,
-    root: VersionedEdge,
+    root: PubEdge,
     /// Snapshot clock (\[33\]): advanced only by snapshots, read by
     /// stamping. Starts at 1 so 0 can mean "unstamped".
     clock: AtomicU64,
     /// Live-snapshot timestamps, bounding how far [`vedge::trim`] may cut.
     snaps: SnapRegistry,
+    /// Publication outcome counters (striped per thread).
+    stats: PubStats,
+    /// Granularity ablation switch: `true` freezes the holder node per
+    /// publication (the PR 3 scheme), `false` freezes only the published
+    /// edge. All writers of one set share one scheme, so the conflict
+    /// detection stays sound; mixing schemes across *sets* is free.
+    per_holder: bool,
 }
 
 unsafe impl Send for FanoutSet {}
@@ -256,14 +383,34 @@ impl Drop for FanoutSnapshot<'_> {
 }
 
 impl FanoutSet {
-    /// Empty set.
+    /// Empty set with per-edge publication granularity (the default: a
+    /// publish freezes only the edge it swings, so same-parent writers on
+    /// sibling slots commit concurrently).
     pub fn new() -> Self {
+        Self::with_granularity(false)
+    }
+
+    /// Empty set with per-holder publication granularity — the PR 3
+    /// scheme, retained as the conflict-granularity ablation: a publish
+    /// freezes the whole holder node, so same-parent writers abort each
+    /// other even on disjoint child slots.
+    pub fn new_per_holder() -> Self {
+        Self::with_granularity(true)
+    }
+
+    fn with_granularity(per_holder: bool) -> Self {
         FanoutSet {
-            anchor: RecordHeader::new(),
-            root: VersionedEdge::new(BNode::leaf(&[])),
+            root: PubEdge::new(BNode::leaf(&[])),
             clock: AtomicU64::new(1),
             snaps: SnapRegistry::new(),
+            stats: PubStats::default(),
+            per_holder,
         }
+    }
+
+    /// Cumulative publication outcome counters for this set.
+    pub fn pub_stats(&self) -> PubSnapshot {
+        self.stats.snapshot()
     }
 
     /// Insert `k`; `true` iff newly added.
@@ -284,11 +431,15 @@ impl FanoutSet {
                 let guard = ebr::pin();
                 scratch.path.clear();
                 scratch.fresh.clear();
-                match self.try_update(k, insert, &guard, &mut scratch.path, &mut scratch.fresh) {
+                scratch.replaced.clear();
+                scratch.links.clear();
+                scratch.level_starts.clear();
+                match self.try_update(k, insert, &guard, scratch) {
                     Some(added) => return added,
                     None => {
                         // The attempt lost a race: everything it allocated
                         // is unpublished — straight back to the pool.
+                        self.stats.incr_retry();
                         for &raw in scratch.fresh.iter() {
                             unsafe { free_node(raw as *mut u8) };
                         }
@@ -305,9 +456,16 @@ impl FanoutSet {
         k: u64,
         insert: bool,
         guard: &ebr::Guard,
-        path: &mut Vec<PathEntry>,
-        fresh: &mut Vec<u64>,
+        scratch: &mut Scratch,
     ) -> Option<bool> {
+        let Scratch {
+            path,
+            fresh,
+            replaced,
+            links,
+            level_starts,
+            vset,
+        } = scratch;
         // Phase 1: descend to the leaf, recording every edge traversed.
         // Reads go through `VersionedEdge::read`, which stamps unstamped
         // heads: once any operation *observes* a record, its timestamp is
@@ -347,11 +505,14 @@ impl FanoutSet {
         }
 
         // Phase 3: cascade splits upward. Each level that must absorb a
-        // split gets LLXed (its edge heads are the copy's inputs — any
-        // later change freezes it and aborts our SCX) and is finalized by
-        // the publication so stragglers inside the replaced region fail.
-        let mut replaced: [(u64, InfoTag); MAX_V] = [(0, 0); MAX_V];
-        let mut n_replaced = 0usize;
+        // split gets load-linked (its edge heads are the copy's inputs —
+        // any later change aborts our SCX's freeze phase) and is finalized
+        // by the publication so stragglers inside the replaced region
+        // fail. The load-link granularity follows the set's scheme: one
+        // node header per replaced internal (per-holder), or every
+        // occupied edge of it (per-edge) — finalizing *all* edges is what
+        // keeps a sibling-slot publisher from committing into a replaced,
+        // now-unreachable internal.
         let mut level = leaf_level;
         let (new_top, pub_level) = loop {
             match outcome {
@@ -367,68 +528,102 @@ impl FanoutSet {
                     level -= 1;
                     let parent_raw = path[level].child;
                     let parent = unsafe { BNode::from_raw(parent_raw) };
-                    let Llx::Ok {
-                        info,
-                        snapshot: heads,
-                    } = llx(&parent.header, || parent.read_heads())
-                    else {
-                        return None;
+                    let slot = path[level + 1].slot;
+                    level_starts.push(links.len());
+                    let heads = if self.per_holder {
+                        let Llx::Ok {
+                            info,
+                            snapshot: heads,
+                        } = llx(&parent.header, || parent.read_heads())
+                        else {
+                            return None;
+                        };
+                        links.push(Linked {
+                            header: &parent.header,
+                            info,
+                        });
+                        heads
+                    } else {
+                        let mut heads = [0u64; NODE_CAP];
+                        for (h, e) in heads.iter_mut().zip(parent.fan().1) {
+                            let Llx::Ok { info, snapshot } = e.llx_head() else {
+                                return None;
+                            };
+                            *h = snapshot;
+                            links.push(Linked {
+                                header: e.header(),
+                                info,
+                            });
+                        }
+                        heads
                     };
                     // The child edge we descended must be what the copy
                     // replaces; a changed head means our split inputs are
                     // stale.
-                    if heads[path[level + 1].slot] != path[level + 1].head {
+                    if heads[slot] != path[level + 1].head {
                         return None;
                     }
-                    assert!(n_replaced + 2 <= MAX_V, "split cascade exceeds MAX_V");
-                    replaced[n_replaced] = (parent_raw, info);
-                    n_replaced += 1;
-                    outcome =
-                        Self::absorb_split(parent, &heads, path[level + 1].slot, l, sep, r, fresh);
+                    replaced.push(parent_raw);
+                    outcome = Self::absorb_split(parent, &heads, slot, l, sep, r, fresh);
                 }
             }
         };
 
-        // Phase 4: publish. Freeze the edge holder plus every replaced
-        // internal (patch-root-first), finalize the replaced ones, and CAS
-        // the publication edge to a new version record. The holder's LLX
-        // snapshot *must* be the CAS's expected value (SCX contract: a
-        // successful freeze certifies the field is unchanged since the
-        // LLX — the field CAS itself cannot fail except to a helper), so
-        // we re-validate the descent-time head against it.
+        // Phase 4: publish. Freeze the publication record — the holder
+        // node (per-holder) or just the published edge (per-edge) — plus
+        // the phase-3 links patch-root-first, finalize everything but the
+        // publication record, and CAS the publication edge to a new
+        // version record. The publication LLX snapshot *must* be the CAS's
+        // expected value (SCX contract: a successful freeze certifies the
+        // field is unchanged since the LLX — the field CAS itself cannot
+        // fail except to a helper), so we re-validate the descent-time
+        // head against it.
         let pub_entry = path[pub_level];
-        let (holder_header, pub_cell): (&RecordHeader, &AtomicU64) = if pub_entry.holder == 0 {
-            (&self.anchor, self.root.cell())
+        let (pub_header, pub_cell): (&RecordHeader, &AtomicU64) = if pub_entry.holder == 0 {
+            // Root pseudo-holder: the root edge's own record serves both
+            // granularities (there is no node above it to freeze).
+            (self.root.header(), self.root.cell())
         } else {
             let h = unsafe { BNode::from_raw(pub_entry.holder) };
-            (&h.header, h.fan().1[pub_entry.slot].cell())
+            let e = &h.fan().1[pub_entry.slot];
+            if self.per_holder {
+                (&h.header, e.cell())
+            } else {
+                (e.header(), e.cell())
+            }
         };
         let Llx::Ok {
-            info: holder_info,
-            snapshot: holder_head,
-        } = llx(holder_header, || pub_cell.load(Ordering::Acquire))
+            info: pub_info,
+            snapshot: pub_head,
+        } = llx(pub_header, || pub_cell.load(Ordering::Acquire))
         else {
             return None;
         };
-        if holder_head != pub_entry.head {
+        if pub_head != pub_entry.head {
             return None;
         }
-        let mut v = [Linked {
-            header: holder_header as *const RecordHeader,
-            info: holder_info,
-        }; MAX_V];
-        // Replaced internals were collected bottom-up; freeze top-down.
-        for (i, &(raw, info)) in replaced[..n_replaced].iter().rev().enumerate() {
-            v[i + 1] = Linked {
-                header: &unsafe { BNode::from_raw(raw) }.header as *const RecordHeader,
-                info,
-            };
+        vset.clear();
+        vset.push(Linked {
+            header: pub_header,
+            info: pub_info,
+        });
+        // Phase-3 links were collected bottom-up; freeze top-down, each
+        // level's records in slot order (a fixed total order, as \[6\]'s
+        // lock-freedom constraint requires).
+        for li in (0..level_starts.len()).rev() {
+            let end = level_starts.get(li + 1).copied().unwrap_or(links.len());
+            vset.extend_from_slice(&links[level_starts[li]..end]);
         }
-        let finalize_mask = ((1u64 << (n_replaced + 1)) - 1) & !1;
+        assert!(
+            vset.len() <= MAX_V,
+            "split cascade freeze set exceeds MAX_V"
+        );
+        let finalize_mask = (u128::MAX >> (128 - vset.len())) & !1;
         let pub_rec = VersionRecord::alloc(new_top, pub_entry.head);
+        self.stats.incr_attempt();
         let ok = unsafe {
             scx(
-                &v[..n_replaced + 1],
+                vset,
                 finalize_mask,
                 pub_cell as *const AtomicU64,
                 pub_entry.head,
@@ -438,9 +633,11 @@ impl FanoutSet {
         if !ok {
             // Never published; the record goes straight back to the pool
             // (NOT as a chain: its prev is the live head).
+            self.stats.incr_abort();
             unsafe { ebr::pool::dispose_pooled(pub_rec as *mut VersionRecord) };
             return None;
         }
+        self.stats.incr_commit();
 
         // Committed: stamp before returning (so ops that finish before a
         // later snapshot starts are always visible to it), retire the
@@ -449,7 +646,7 @@ impl FanoutSet {
         unsafe { VersionRecord::from_raw(pub_rec) }.stamp(&self.clock);
         unsafe {
             guard.retire_with(path[leaf_level].child as *mut u8, free_node);
-            for &(raw, _) in &replaced[..n_replaced] {
+            for &raw in replaced.iter() {
                 guard.retire_with(raw as *mut u8, free_node);
             }
         }
@@ -794,6 +991,152 @@ mod tests {
         assert_eq!(snap.rank(0), 1);
         assert_eq!(snap.rank(9), 1);
         assert_eq!(snap.rank(990), 100);
+    }
+
+    /// The tentpole property, demonstrated deterministically at protocol
+    /// level (no scheduling luck — this is the exact interleaving two
+    /// cores produce when publishes overlap): publisher B load-links its
+    /// publication record for one child slot, a full concurrent update
+    /// then publishes on a *sibling* slot of the same parent, and B's
+    /// delayed SCX finally runs.
+    ///
+    /// * per-edge granularity: the sibling publish froze only its own
+    ///   edge record — B's snapshot is still valid and B COMMITS;
+    /// * per-holder granularity: the sibling publish froze the shared
+    ///   holder — B's freeze fails and B ABORTS (the PR 3 conflict
+    ///   window this PR removes);
+    /// * same-slot overlap: B must abort under BOTH granularities, or an
+    ///   update would be lost.
+    #[test]
+    fn sibling_publish_overlap_conflict_window() {
+        // (per_holder, same_slot) -> expected commit of the delayed SCX.
+        for (per_holder, same_slot, expect_commit) in [
+            (false, false, true), // per-edge, sibling slots: no conflict
+            (true, false, false), // per-holder, sibling slots: conflict
+            (false, true, false), // same slot: conflict (both schemes)
+            (true, true, false),
+        ] {
+            let s = if per_holder {
+                FanoutSet::new_per_holder()
+            } else {
+                FanoutSet::new()
+            };
+            // ~100 keys: a root internal over several half-full leaves.
+            for k in (0..200u64).step_by(2) {
+                s.insert(k);
+            }
+            let g = ebr::pin();
+            let parent_raw = s.root.read(&s.clock).0;
+            let parent = unsafe { BNode::from_raw(parent_raw) };
+            let (_, edges) = parent.fan();
+            assert!(edges.len() >= 2, "need sibling slots under one parent");
+            let (slot_a, slot_b) = (0usize, edges.len() - 1);
+
+            // An absent key routing into a given slot: leaves hold even
+            // keys, so `keys[idx] + 1` is odd, absent, and stays inside
+            // the leaf's key range (distinct `idx` keeps the same-slot
+            // case from picking the same key for both publishers).
+            let absent_key_in = |slot: usize, idx: usize| {
+                let head = edges[slot].head();
+                let leaf_raw = unsafe { VersionRecord::from_raw(head) }.child();
+                unsafe { BNode::from_raw(leaf_raw) }.keys()[idx] + 1
+            };
+
+            // --- Publisher B: run phases 1-4 up to (not including) SCX
+            // for a key in slot_b, exactly as `try_update` would.
+            let e_b = &edges[slot_b];
+            let k_b = absent_key_in(slot_b, 0);
+            let (b_link, head_b) = if per_holder {
+                let Llx::Ok {
+                    info,
+                    snapshot: heads,
+                } = llx(&parent.header, || parent.read_heads())
+                else {
+                    panic!("quiescent LLX must succeed")
+                };
+                (
+                    Linked {
+                        header: &parent.header,
+                        info,
+                    },
+                    heads[slot_b],
+                )
+            } else {
+                let Llx::Ok { info, snapshot } = e_b.llx_head() else {
+                    panic!("quiescent LLX must succeed")
+                };
+                (
+                    Linked {
+                        header: e_b.header(),
+                        info,
+                    },
+                    snapshot,
+                )
+            };
+            let old_leaf = unsafe { VersionRecord::from_raw(head_b) }.child();
+            let mut keys: Vec<u64> = unsafe { BNode::from_raw(old_leaf) }.keys().to_vec();
+            keys.push(k_b);
+            keys.sort_unstable();
+            let new_leaf = BNode::leaf(&keys);
+
+            // --- The interfering publish, a complete concurrent update:
+            // sibling slot or B's own slot.
+            let k_i = absent_key_in(if same_slot { slot_b } else { slot_a }, 1);
+            assert!(s.insert(k_i));
+            assert_eq!(
+                s.root.read(&s.clock).0,
+                parent_raw,
+                "interfering insert must not have replaced the parent"
+            );
+
+            // --- B's delayed SCX.
+            let rec = VersionRecord::alloc(new_leaf, head_b);
+            let ok = unsafe { scx(&[b_link], 0, e_b.cell() as *const AtomicU64, head_b, rec) };
+            assert_eq!(
+                ok, expect_commit,
+                "per_holder={per_holder} same_slot={same_slot}: delayed SCX outcome"
+            );
+            if ok {
+                unsafe { g.retire_with(old_leaf as *mut u8, free_node) };
+                assert!(s.contains(k_b), "committed publish must be visible");
+            } else {
+                unsafe {
+                    ebr::pool::dispose_pooled(rec as *mut VersionRecord);
+                    free_node(new_leaf as *mut u8);
+                }
+                assert!(!s.contains(k_b), "aborted publish must stay invisible");
+            }
+            assert!(s.contains(k_i), "the interfering update must survive");
+            drop(g);
+            ebr::flush();
+        }
+    }
+
+    #[test]
+    fn per_holder_splits_preserve_order() {
+        let s = FanoutSet::new_per_holder();
+        // k -> k*7919 mod 3001 is a bijection (prime modulus).
+        for k in 0..3001u64 {
+            assert!(s.insert(k * 7919 % 3001), "{k}");
+        }
+        let all = s.snapshot().range_collect(0, u64::MAX);
+        assert_eq!(all.len(), 3001);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pub_stats_count_publications() {
+        let s = FanoutSet::new();
+        for k in 0..100u64 {
+            assert!(s.insert(k));
+        }
+        let st = s.pub_stats();
+        assert_eq!(st.commits, 100, "every successful update publishes once");
+        assert_eq!(st.attempts, st.commits + st.aborts);
+        assert_eq!(st.aborts, 0, "single-threaded: nothing to conflict with");
+        // A no-op update publishes nothing.
+        assert!(!s.insert(5));
+        assert_eq!(s.pub_stats().commits, 100);
     }
 
     #[test]

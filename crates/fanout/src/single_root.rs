@@ -13,7 +13,7 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::{LEAF_CAP, NODE_CAP};
+use crate::{PubSnapshot, PubStats, LEAF_CAP, NODE_CAP};
 
 /// A fixed-capacity copy-on-write tree node. Both variants carry their
 /// arrays inline so the whole enum is one `(size, align)` class for the
@@ -98,6 +98,10 @@ thread_local! {
 /// The single-root-CAS fanout set (ablation baseline; see module docs).
 pub struct SingleRootFanoutSet {
     root: AtomicU64,
+    /// Root-CAS outcome counters, comparable to [`crate::FanoutSet`]'s
+    /// publication stats: every writer's publish is one root CAS, so the
+    /// abort rate here measures whole-tree publication contention.
+    stats: PubStats,
 }
 
 unsafe impl Send for SingleRootFanoutSet {}
@@ -124,7 +128,13 @@ impl SingleRootFanoutSet {
     pub fn new() -> Self {
         SingleRootFanoutSet {
             root: AtomicU64::new(BNode::leaf(&[])),
+            stats: PubStats::default(),
         }
+    }
+
+    /// Cumulative root-CAS publication counters for this set.
+    pub fn pub_stats(&self) -> PubSnapshot {
+        self.stats.snapshot()
     }
 
     /// Insert `k`; `true` iff newly added.
@@ -150,17 +160,21 @@ impl SingleRootFanoutSet {
                     Updated::One(r) => r,
                     Updated::Split(l, sep, r) => BNode::internal(&[sep], &[l, r]),
                 };
+                self.stats.incr_attempt();
                 if self
                     .root
                     .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
+                    self.stats.incr_commit();
                     for &raw in replaced.iter() {
                         unsafe { ebr::pool::retire_pooled(&guard, raw as *mut BNode) };
                     }
                     return true;
                 }
                 // Lost the race: free the unpublished copies and retry.
+                self.stats.incr_abort();
+                self.stats.incr_retry();
                 Self::dispose_new(new_root, &replaced);
             }
         })

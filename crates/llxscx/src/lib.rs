@@ -42,11 +42,20 @@ use std::sync::OnceLock;
 use ebr::CachePadded;
 
 /// Maximum records an SCX can freeze. The chromatic tree needs at most 5
-/// (grandparent, parent, node, sibling, nephew); `fanout`'s versioned-edge
+/// (grandparent, parent, node, sibling, nephew). `fanout`'s *per-holder*
 /// publication freezes the edge holder plus every internal node a split
-/// cascade replaces — one per level, so 12 covers trees of height ≤ 11
-/// (far beyond 10⁹ keys at fanout 8–16).
-pub const MAX_V: usize = 12;
+/// cascade replaces — one per level. Its *per-edge* publication (PR 4)
+/// freezes records at edge granularity: one publication edge plus every
+/// occupied edge of every cascade-replaced internal, up to fanout (16)
+/// records per replaced level — 128 covers cascades through 7 simultaneously
+/// full levels (trees of ~10⁸ keys at fanout 8–16; deeper cascades would
+/// trip the callers' asserts, not corrupt memory).
+///
+/// Freeze sets this large never materialize outside deep split cascades:
+/// the descriptor publish loop and the `help` freeze loop run over the
+/// operation's actual `num_v`, so a common-case single-record SCX touches
+/// one slot regardless of `MAX_V`.
+pub const MAX_V: usize = 128;
 
 /// Number of descriptor slots; indexed by [`ebr::thread_id`].
 pub const MAX_THREADS: usize = ebr::MAX_THREADS;
@@ -134,7 +143,9 @@ impl Default for RecordHeader {
 
 impl RecordHeader {
     /// A header for a freshly allocated, unfrozen, unmarked record.
-    pub fn new() -> Self {
+    /// (`const`: headers are embedded per-edge in `vedge::PubEdge`, whose
+    /// null form must be constructible in `const` array initializers.)
+    pub const fn new() -> Self {
         RecordHeader {
             info: AtomicU64::new(INITIAL_INFO),
             marked: AtomicBool::new(false),
@@ -186,8 +197,11 @@ struct Descriptor {
     num_v: AtomicU64,
     v: [AtomicU64; MAX_V],     // *const RecordHeader
     infos: [AtomicU64; MAX_V], // expected info tags
-    finalize_mask: AtomicU64,  // bit i set => finalize v[i]
-    fld: AtomicU64,            // *const AtomicU64 (the child pointer to CAS)
+    // bit i set => finalize v[i]; u128 split over two words (per-edge
+    // freeze sets can exceed 64 records on deep split cascades).
+    finalize_lo: AtomicU64,
+    finalize_hi: AtomicU64,
+    fld: AtomicU64, // *const AtomicU64 (the child pointer to CAS)
     old: AtomicU64,
     new: AtomicU64,
 }
@@ -199,7 +213,8 @@ impl Descriptor {
             num_v: AtomicU64::new(0),
             v: std::array::from_fn(|_| AtomicU64::new(0)),
             infos: std::array::from_fn(|_| AtomicU64::new(0)),
-            finalize_mask: AtomicU64::new(0),
+            finalize_lo: AtomicU64::new(0),
+            finalize_hi: AtomicU64::new(0),
             fld: AtomicU64::new(0),
             old: AtomicU64::new(0),
             new: AtomicU64::new(0),
@@ -287,7 +302,7 @@ pub struct Linked {
 ///   required for lock-freedom.
 pub unsafe fn scx(
     v: &[Linked],
-    finalize_mask: u64,
+    finalize_mask: u128,
     fld: *const AtomicU64,
     old: u64,
     new: u64,
@@ -309,7 +324,9 @@ pub unsafe fn scx(
         d.v[i].store(linked.header as u64, Ordering::Relaxed);
         d.infos[i].store(linked.info, Ordering::Relaxed);
     }
-    d.finalize_mask.store(finalize_mask, Ordering::Relaxed);
+    d.finalize_lo.store(finalize_mask as u64, Ordering::Relaxed);
+    d.finalize_hi
+        .store((finalize_mask >> 64) as u64, Ordering::Relaxed);
     d.fld.store(fld as u64, Ordering::Relaxed);
     d.old.store(old, Ordering::Relaxed);
     d.new.store(new, Ordering::SeqCst);
@@ -333,25 +350,34 @@ fn help(tid: usize, seq: u64) {
     if word_seq(w) != seq {
         return;
     }
-    let num_v = d.num_v.load(Ordering::Relaxed) as usize;
-    let mut recs = [std::ptr::null::<RecordHeader>(); MAX_V];
-    let mut exps = [0u64; MAX_V];
-    for i in 0..num_v.min(MAX_V) {
-        recs[i] = d.v[i].load(Ordering::Relaxed) as *const RecordHeader;
-        exps[i] = d.infos[i].load(Ordering::Relaxed);
+    let num_v = (d.num_v.load(Ordering::Relaxed) as usize).min(MAX_V);
+    // `MaybeUninit` keeps the copy proportional to `num_v`: with MAX_V
+    // sized for worst-case per-edge cascades, zero-initializing the full
+    // arrays would cost ~2 KiB of memset on every single-record publish.
+    let mut recs = [std::mem::MaybeUninit::<*const RecordHeader>::uninit(); MAX_V];
+    let mut exps = [std::mem::MaybeUninit::<u64>::uninit(); MAX_V];
+    for i in 0..num_v {
+        recs[i].write(d.v[i].load(Ordering::Relaxed) as *const RecordHeader);
+        exps[i].write(d.infos[i].load(Ordering::Relaxed));
     }
-    let fmask = d.finalize_mask.load(Ordering::Relaxed);
+    let fmask = d.finalize_lo.load(Ordering::Relaxed) as u128
+        | (d.finalize_hi.load(Ordering::Relaxed) as u128) << 64;
     let fld = d.fld.load(Ordering::Relaxed) as *const AtomicU64;
     let old = d.old.load(Ordering::Relaxed);
     let new = d.new.load(Ordering::SeqCst);
     if word_seq(d.status.load(Ordering::SeqCst)) != seq {
         return;
     }
+    // Validated: the operation fields belong to (tid, seq) and the first
+    // `num_v` entries of the copies are initialized.
+    let recs: &[*const RecordHeader] =
+        unsafe { std::slice::from_raw_parts(recs.as_ptr().cast(), num_v) };
+    let exps: &[u64] = unsafe { std::slice::from_raw_parts(exps.as_ptr().cast(), num_v) };
 
     let tag = pack_tag(tid, seq);
 
     // Freeze phase: install our tag in every record of V, in order.
-    'freeze: for i in 0..num_v.min(MAX_V) {
+    'freeze: for i in 0..num_v {
         let header = unsafe { &*recs[i] };
         if header
             .info
@@ -401,7 +427,7 @@ fn help(tid: usize, seq: u64) {
     }
 
     // Mark (finalize) the records in R. Idempotent & monotone.
-    for (i, rec) in recs.iter().enumerate().take(num_v.min(MAX_V)) {
+    for (i, rec) in recs.iter().enumerate() {
         if fmask & (1 << i) != 0 {
             unsafe { &**rec }.marked.store(true, Ordering::Release);
         }

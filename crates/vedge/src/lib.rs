@@ -22,6 +22,10 @@
 //! * [`VersionedEdge`] — the atomic head pointer plus the read protocols:
 //!   current-head reads for linearizable point operations and
 //!   [`VersionedEdge::read_at`] for timestamped snapshot traversal.
+//! * [`PubEdge`] — a [`VersionedEdge`] bundled with its own `llxscx`
+//!   record header, so publication conflicts resolve at *edge* rather
+//!   than holder-node granularity (the PR 4 tentpole; `fanout` publishes
+//!   through these, `vcas` keeps plain edges under its node headers).
 //! * [`SnapRegistry`] — per-thread announcement slots for live snapshot
 //!   timestamps. Writers ask [`SnapRegistry::min_active`] for the oldest
 //!   timestamp any live snapshot can read at; with no snapshots live this
@@ -42,6 +46,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ebr::{CachePadded, Guard};
+use llxscx::{Llx, RecordHeader};
 
 /// One version of a child edge: `(child, ts, prev)`.
 ///
@@ -157,6 +162,70 @@ impl VersionedEdge {
             }
             raw = prev;
         }
+    }
+}
+
+/// A [`VersionedEdge`] that carries its own LLX/SCX freeze state: the
+/// record a publication on this edge loads-links and freezes is the *edge
+/// itself*, not the node holding it.
+///
+/// This is the per-edge conflict granularity of the PR 4 tentpole. With a
+/// per-holder scheme, publishing on any child slot freezes the holder
+/// node's one header, so two writers updating *different* slots of the
+/// same parent invalidate each other's LLX snapshots and one must retry.
+/// With `PubEdge`, an SCX certifies and CASes only the slot it publishes
+/// on: same-parent writers on sibling slots share no frozen records and
+/// commit concurrently. The holder's node-level header is still the right
+/// tool when a node is replaced wholesale (split cascades finalize every
+/// occupied `PubEdge` of the replaced internal instead — see `fanout`).
+///
+/// The embedded header starts unfrozen/unmarked; the version-record
+/// install/trim protocol of the inner [`VersionedEdge`] is unchanged.
+pub struct PubEdge {
+    header: RecordHeader,
+    edge: VersionedEdge,
+}
+
+impl PubEdge {
+    /// An edge whose initial version points at `child`, with a fresh
+    /// (unfrozen, unmarked) freeze word.
+    pub fn new(child: u64) -> Self {
+        PubEdge {
+            header: RecordHeader::new(),
+            edge: VersionedEdge::new(child),
+        }
+    }
+
+    /// An empty edge (unoccupied slot: no version record).
+    pub const fn null() -> Self {
+        PubEdge {
+            header: RecordHeader::new(),
+            edge: VersionedEdge::null(),
+        }
+    }
+
+    /// The edge's own freeze/ownership record, for LLX/SCX participation.
+    #[inline]
+    pub fn header(&self) -> &RecordHeader {
+        &self.header
+    }
+
+    /// Load-link this edge: on `Ok`, the snapshot is the version-record
+    /// head observed atomically with the (unfrozen) info tag.
+    #[inline]
+    pub fn llx_head(&self) -> Llx<u64> {
+        llxscx::llx(&self.header, || self.edge.head())
+    }
+}
+
+/// `PubEdge` is a `VersionedEdge` plus freeze state; all read protocols
+/// (`head`, `read`, `read_at`, `cell`) pass through.
+impl std::ops::Deref for PubEdge {
+    type Target = VersionedEdge;
+
+    #[inline]
+    fn deref(&self) -> &VersionedEdge {
+        &self.edge
     }
 }
 

@@ -81,6 +81,14 @@ pub trait BenchSet: Send + Sync {
     fn capabilities(&self) -> Capabilities {
         Capabilities::ALL
     }
+    /// Cumulative structural-contention counters, if the structure tracks
+    /// them (striped per thread, cheap to read). [`run`] differences them
+    /// around the measured phase and reports the abort rate in
+    /// [`RunResult`] — the direct evidence for conflict-window claims that
+    /// throughput alone (especially on few cores) cannot give.
+    fn contention(&self) -> Option<ContentionCounters> {
+        None
+    }
 }
 
 /// Which read-dominated query the `query` share of the mix issues.
@@ -158,7 +166,20 @@ pub enum KeyDist {
     /// contended-writers scenario isolating *structural* publication
     /// contention (e.g. a shared root CAS) from key conflicts.
     Disjoint,
+    /// Every thread draws uniformly from ONE shared
+    /// [`SAME_SLICE_WIDTH`]-key slice in the middle of the key space — the
+    /// same-subtree adversarial scenario: all writers land under a handful
+    /// of sibling leaves of one parent, so publication schemes with
+    /// holder- (or whole-tree-) granular conflict windows abort each other
+    /// constantly while per-edge granularity only conflicts on same-leaf
+    /// collisions.
+    SameSlice,
 }
+
+/// Width of the [`KeyDist::SameSlice`] hot slice (matches one leaf's key
+/// capacity in the fanout tree, so the slice spans only a few sibling
+/// leaves).
+pub const SAME_SLICE_WIDTH: u64 = 16;
 
 /// One experiment configuration.
 #[derive(Debug, Clone)]
@@ -180,6 +201,11 @@ pub struct RunConfig {
     pub prefill: bool,
     /// RNG seed (runs are reproducible per seed).
     pub seed: u64,
+    /// Offered load in million ops/s across all threads (Fig. 9's x-axis):
+    /// each worker paces itself to its `offered_mops / threads` share by
+    /// spinning between operations. `0.0` (the default) means unthrottled —
+    /// every worker issues back-to-back (closed-loop saturation).
+    pub offered_mops: f64,
 }
 
 impl RunConfig {
@@ -194,8 +220,21 @@ impl RunConfig {
             duration: Duration::from_millis(300),
             prefill: true,
             seed: 0xC0FFEE,
+            offered_mops: 0.0,
         }
     }
+}
+
+/// Structural contention counters an adapter can expose (cumulative):
+/// publication attempts, the attempts a concurrent conflict aborted, and
+/// whole-update retries (any cause: failed load-link, stale snapshot, or
+/// publication abort). For LLX/SCX structures attempts/aborts are SCX
+/// outcomes; for CAS-published structures, CAS outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionCounters {
+    pub attempts: u64,
+    pub aborts: u64,
+    pub retries: u64,
 }
 
 /// Aggregated result of one run.
@@ -221,12 +260,34 @@ pub struct RunResult {
     pub query_p50_ns: f64,
     /// 99th-percentile sampled query latency (ns).
     pub query_p99_ns: f64,
+    /// Publication attempts during the measured phase (0 when the adapter
+    /// exposes no [`BenchSet::contention`] counters).
+    pub scx_attempts: u64,
+    /// Publication attempts aborted by a concurrent conflict.
+    pub scx_aborts: u64,
+    /// Whole-update retries (failed load-link, stale snapshot, or
+    /// publication abort — every restarted attempt).
+    pub scx_retries: u64,
 }
 
 impl RunResult {
     /// Throughput in operations per second.
     pub fn mops(&self) -> f64 {
         self.total_ops as f64 / self.secs / 1.0e6
+    }
+
+    /// Fraction of publication attempts aborted by conflicts (0.0 when
+    /// the adapter exposes no contention counters).
+    pub fn abort_rate(&self) -> f64 {
+        self.scx_aborts as f64 / self.scx_attempts.max(1) as f64
+    }
+
+    /// Fraction of update attempts restarted for any conflict-shaped
+    /// reason — the broader conflict-window signal (an interfering
+    /// publish often surfaces as a failed load-link or stale snapshot
+    /// *before* the SCX is even issued).
+    pub fn retry_rate(&self) -> f64 {
+        self.scx_retries as f64 / (self.scx_attempts + self.scx_retries).max(1) as f64
     }
 }
 
@@ -327,6 +388,9 @@ pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
     let mut result = RunResult::default();
     let mut upd = LatAcc::default();
     let mut qry = LatAcc::default();
+    // Contention counters are cumulative per set; difference them around
+    // the measured phase (prefill publications must not count).
+    let contention_before = set.contention();
     let started = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -355,6 +419,11 @@ pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
         }
     });
     result.secs = started.elapsed().as_secs_f64();
+    if let (Some(before), Some(after)) = (contention_before, set.contention()) {
+        result.scx_attempts = after.attempts - before.attempts;
+        result.scx_aborts = after.aborts - before.aborts;
+        result.scx_retries = after.retries - before.retries;
+    }
     if upd.count > 0 {
         result.update_latency_ns = upd.total_ns as f64 / upd.count as f64;
     }
@@ -387,6 +456,16 @@ fn worker(
     // Disjoint distribution: this thread's private slice of the key space.
     let disjoint_span = (cfg.max_key / cfg.threads.max(1) as u64).max(1);
     let disjoint_base = tid as u64 * disjoint_span;
+    // SameSlice distribution: the one shared hot slice, mid key space.
+    let slice_width = SAME_SLICE_WIDTH.min(cfg.max_key);
+    let slice_base = (cfg.max_key / 2).min(cfg.max_key - slice_width);
+    // Offered-load pacing (Fig. 9): ns between ops for this worker.
+    let pace_ns = if cfg.offered_mops > 0.0 {
+        (cfg.threads as f64 / cfg.offered_mops * 1e3) as u64
+    } else {
+        0
+    };
+    let pace_start = Instant::now();
     let mut out = WorkerOut {
         total_ops: 0,
         ops: [0; 4],
@@ -425,7 +504,21 @@ fn worker(
                 k % cfg.max_key
             }
             KeyDist::Disjoint => disjoint_base + rng.below(disjoint_span),
+            KeyDist::SameSlice => slice_base + rng.below(slice_width),
         };
+
+        // Open-ish loop pacing: wait for this op's scheduled slot. The
+        // spin (not sleep) keeps the wait precise at sub-µs periods; stop
+        // is honored so a throttled run still ends on time.
+        if pace_ns > 0 {
+            let target = pace_ns.saturating_mul(op_idx);
+            while (pace_start.elapsed().as_nanos() as u64) < target {
+                if stop.load(Ordering::Relaxed) {
+                    return out;
+                }
+                std::hint::spin_loop();
+            }
+        }
 
         op_idx += 1;
         let sample = op_idx & ((1 << LAT_SHIFT) - 1) == 0;
@@ -654,6 +747,107 @@ mod tests {
                 "slice {t} untouched"
             );
         }
+    }
+
+    #[test]
+    fn same_slice_confines_all_threads_to_one_hot_slice() {
+        let s = OracleSet::new();
+        let mut cfg = RunConfig::new(4, 4096);
+        cfg.duration = Duration::from_millis(40);
+        cfg.mix = OpMix::percent(100, 0, 0, 0);
+        cfg.dist = KeyDist::SameSlice;
+        cfg.prefill = false;
+        let r = run(&s, &cfg);
+        assert!(r.ops[0] > 0);
+        let keys = s.0.lock().unwrap();
+        let base = 4096 / 2;
+        assert!(
+            keys.iter()
+                .all(|&k| (base..base + SAME_SLICE_WIDTH).contains(&k)),
+            "every key must land in the one shared {SAME_SLICE_WIDTH}-key slice"
+        );
+        assert!(keys.len() as u64 <= SAME_SLICE_WIDTH);
+    }
+
+    #[test]
+    fn offered_load_paces_the_run() {
+        let s = OracleSet::new();
+        let mut cfg = RunConfig::new(2, 1000);
+        cfg.duration = Duration::from_millis(100);
+        cfg.mix = OpMix::percent(50, 50, 0, 0);
+        cfg.prefill = false;
+        let unthrottled = run(&s, &cfg).total_ops;
+        cfg.offered_mops = 0.05; // 50k ops/s => ~5k ops in 100 ms
+        let throttled = run(&s, &cfg);
+        assert!(
+            throttled.total_ops < unthrottled / 3,
+            "throttled run ({}) must do far fewer ops than unthrottled ({unthrottled})",
+            throttled.total_ops
+        );
+        let expected = cfg.offered_mops * 1e6 * cfg.duration.as_secs_f64();
+        assert!(
+            (throttled.total_ops as f64) < expected * 2.0,
+            "throttled run must not overshoot the offered load"
+        );
+        assert!(throttled.total_ops > 0);
+    }
+
+    #[test]
+    fn contention_counters_surface_in_the_result() {
+        use std::sync::atomic::AtomicU64;
+
+        /// Oracle wrapper counting every update as one publication attempt.
+        struct Counting(OracleSet, AtomicU64);
+        impl BenchSet for Counting {
+            fn insert(&self, k: u64) -> bool {
+                self.1.fetch_add(1, Ordering::Relaxed);
+                self.0.insert(k)
+            }
+            fn remove(&self, k: u64) -> bool {
+                self.1.fetch_add(1, Ordering::Relaxed);
+                self.0.remove(k)
+            }
+            fn contains(&self, k: u64) -> bool {
+                self.0.contains(k)
+            }
+            fn range_count(&self, lo: u64, hi: u64) -> u64 {
+                self.0.range_count(lo, hi)
+            }
+            fn rank(&self, k: u64) -> u64 {
+                self.0.rank(k)
+            }
+            fn select(&self, i: u64) -> Option<u64> {
+                self.0.select(i)
+            }
+            fn size_hint(&self) -> u64 {
+                self.0.size_hint()
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn contention(&self) -> Option<ContentionCounters> {
+                Some(ContentionCounters {
+                    attempts: self.1.load(Ordering::Relaxed),
+                    aborts: 0,
+                    retries: 0,
+                })
+            }
+        }
+
+        let s = Counting(OracleSet::new(), AtomicU64::new(0));
+        let mut cfg = RunConfig::new(2, 1000);
+        cfg.duration = Duration::from_millis(30);
+        cfg.mix = OpMix::percent(50, 50, 0, 0);
+        let r = run(&s, &cfg);
+        // Prefill attempts are excluded: the measured delta equals the
+        // update ops of the run itself.
+        assert_eq!(r.scx_attempts, r.ops[0] + r.ops[1]);
+        assert_eq!(r.scx_aborts, 0);
+        assert_eq!(r.abort_rate(), 0.0);
+        // Adapters without counters report zeroes.
+        let plain = run(&OracleSet::new(), &cfg);
+        assert_eq!(plain.scx_attempts, 0);
+        assert_eq!(plain.abort_rate(), 0.0);
     }
 
     #[test]

@@ -7,9 +7,22 @@
 # threshold below the old one fails the check, and any (mix, threads)
 # point present in the old file but MISSING from the new one fails too —
 # a dropped trajectory point used to slip through silently, letting a
-# regression hide by simply not being measured. Baseline rows are ignored
-# (they are intentionally de-optimized; noise there is not a regression).
-# Only meaningful for files recorded on the same host.
+# regression hide by simply not being measured. Rows that record p99
+# update latency in BOTH files are additionally checked for latency
+# regressions: a p99 that grew by more than the latency threshold
+# (default: 3x the throughput threshold — tail latencies on shared hosts
+# are far noisier than means) fails too.
+#
+# Host-drift normalization: successive trajectory files are recorded on
+# different container instances of a shared host, whose absolute speed
+# varies by tens of percent with tenant load. The *baseline* rows run
+# intentionally de-optimized code that behaves identically across PRs,
+# so the median new/old ratio over shared baseline points estimates pure
+# host drift; optimized rows are compared after dividing that factor out
+# (both for throughput and for p99). A real optimization regression
+# moves optimized rows relative to baseline rows and is still caught;
+# absolute drift that moves both identically is not a code change.
+# Requires >= 3 shared baseline points, else the factor stays 1.
 #
 # Self mode (--self): within ONE file, every (mix, threads) point must
 # have optimized throughput at least (100 - threshold)% of its baseline
@@ -18,8 +31,9 @@
 # catch a code change that destroys the hot-path optimization.
 #
 # Usage:
-#   scripts/bench_compare.sh OLD.json NEW.json [threshold-pct]   # default 10
+#   scripts/bench_compare.sh OLD.json NEW.json [threshold-pct] [lat-threshold-pct]
 #   scripts/bench_compare.sh --self NEW.json [threshold-pct]
+# threshold-pct defaults to 10; lat-threshold-pct to 3x threshold-pct.
 set -euo pipefail
 
 if [ "${1:-}" = "--self" ]; then
@@ -28,22 +42,25 @@ if [ "${1:-}" = "--self" ]; then
     OLD="${1:?usage: bench_compare.sh --self NEW.json [threshold-pct]}"
     NEW="$OLD"
     THRESH="${2:-10}"
+    LAT_THRESH="${3:-0}" # latency check is pair-mode only
 else
     MODE=pair
-    OLD="${1:?usage: bench_compare.sh OLD.json NEW.json [threshold-pct]}"
-    NEW="${2:?usage: bench_compare.sh OLD.json NEW.json [threshold-pct]}"
+    OLD="${1:?usage: bench_compare.sh OLD.json NEW.json [threshold-pct] [lat-threshold-pct]}"
+    NEW="${2:?usage: bench_compare.sh OLD.json NEW.json [threshold-pct] [lat-threshold-pct]}"
     THRESH="${3:-10}"
+    LAT_THRESH="${4:-$((3 * THRESH))}"
 fi
 
-python3 - "$MODE" "$OLD" "$NEW" "$THRESH" <<'EOF'
+python3 - "$MODE" "$OLD" "$NEW" "$THRESH" "$LAT_THRESH" <<'EOF'
 import json
 import sys
 
-mode, old_path, new_path, thresh_pct = (
+mode, old_path, new_path, thresh_pct, lat_thresh_pct = (
     sys.argv[1],
     sys.argv[2],
     sys.argv[3],
     float(sys.argv[4]),
+    float(sys.argv[5]),
 )
 
 
@@ -58,16 +75,33 @@ def rows(path, mode_filter):
         if r.get("mode") != mode_filter:
             continue
         key = (r.get("mix", default_mix), r["threads"])
-        out[key] = r["mops"]
+        out[key] = (r["mops"], r.get("upd_p99_ns"))
     return out
 
 
+drift_mops, drift_p99 = 1.0, 1.0
 if mode == "self":
     old, new = rows(old_path, "baseline"), rows(new_path, "optimized")
     what = f"optimized vs baseline within {new_path}"
 else:
     old, new = rows(old_path, "optimized"), rows(new_path, "optimized")
     what = f"{old_path} vs {new_path} (optimized rows)"
+    # Estimate host drift from the shared baseline (de-optimized) rows.
+    ob, nb = rows(old_path, "baseline"), rows(new_path, "baseline")
+    shared = sorted(set(ob) & set(nb))
+    if len(shared) >= 3:
+        ratios = sorted(nb[k][0] / ob[k][0] for k in shared)
+        drift_mops = ratios[len(ratios) // 2]
+        lat = sorted(
+            nb[k][1] / ob[k][1] for k in shared if ob[k][1] and nb[k][1]
+        )
+        if len(lat) >= 3:
+            drift_p99 = lat[len(lat) // 2]
+        print(
+            f"host drift over {len(shared)} baseline point(s): "
+            f"throughput x{drift_mops:.3f}, upd p99 x{drift_p99:.3f} "
+            f"(normalized out below)"
+        )
 
 common = sorted(set(old) & set(new))
 if not common:
@@ -85,17 +119,37 @@ if mode == "pair":
 failures = []
 for key in common:
     mix, threads = key
-    delta = new[key] / old[key] - 1.0
+    old_mops, old_p99 = old[key]
+    new_mops, new_p99 = new[key]
+    delta = new_mops / old_mops / drift_mops - 1.0
     status = "OK"
     if delta < -thresh_pct / 100.0:
         status = "REGRESSION"
         failures.append(key)
     print(
         f"{status:>10}  {mix:<16} TT={threads}: "
-        f"{old[key]:.3f} -> {new[key]:.3f} Mops/s ({delta:+.1%})"
+        f"{old_mops:.3f} -> {new_mops:.3f} Mops/s ({delta:+.1%})"
     )
+    # p99 update-latency guard (pair mode, rows that record it in both
+    # files): a tail that grew past the latency threshold is a regression
+    # even if the mean throughput held.
+    if mode == "pair" and old_p99 and new_p99 and lat_thresh_pct > 0:
+        lat_delta = new_p99 / old_p99 / drift_p99 - 1.0
+        if lat_delta > lat_thresh_pct / 100.0:
+            if key not in failures:
+                failures.append(key)
+            print(
+                f"{'LAT-REGRESSION':>14}  {mix:<16} TT={threads}: "
+                f"upd p99 {old_p99:.0f} -> {new_p99:.0f} ns ({lat_delta:+.1%})"
+            )
 
 if failures:
-    sys.exit(f"{len(failures)} row(s) regressed more than {thresh_pct:.0f}% ({what})")
-print(f"{len(common)} row(s) compared ({what}), none regressed more than {thresh_pct:.0f}%")
+    sys.exit(
+        f"{len(failures)} row(s) regressed more than {thresh_pct:.0f}% "
+        f"(or p99 latency more than {lat_thresh_pct:.0f}%) ({what})"
+    )
+print(
+    f"{len(common)} row(s) compared ({what}), none regressed more than "
+    f"{thresh_pct:.0f}% (p99 latency guard: {lat_thresh_pct:.0f}%)"
+)
 EOF

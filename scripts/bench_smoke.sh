@@ -15,6 +15,8 @@ cd "$(dirname "$0")/.."
 latest=$(ls BENCH_PR*.json 2>/dev/null | sed -E 's/^BENCH_PR([0-9]+)\.json$/\1/' | sort -n | tail -1)
 PR="${BENCH_PR:-$(( ${latest:-0} + 1 ))}"
 cargo build --release -p bench
-cargo run --release -p bench --bin bench_pr3 -- \
+# The timeout turns a (rare, pre-existing) BAT-baseline liveness bug —
+# tracked in ROADMAP.md — into a loud failure instead of a wedged CI job.
+timeout 2400 cargo run --release -p bench --bin bench_pr4 -- \
     --pr "$PR" --threads 1,2,4,8 --duration-ms 600 --trials 3 --max-key 32768 \
     "$@"
