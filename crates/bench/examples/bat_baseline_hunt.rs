@@ -1,21 +1,77 @@
 //! Reproducer harness for the rare BAT-baseline liveness/memory bug
 //! tracked in ROADMAP.md ("Rare liveness/memory bug in the BAT
-//! *baseline* hot path"): replicates `bench_pr4` section 1's baseline
-//! half — 3 mixes × TT 1,2,4,8 × 3 trials of 600 ms on
-//! `BatAdapter::plain` with the baseline (pool-bypassing) hot path —
-//! where one livelock and one SIGSEGV were observed across six full
-//! sweeps. Run with `cargo run --release -p bench --example
-//! bat_baseline_hunt -- <iterations>`; 12 iterations (~430 runs) have
-//! not yet reproduced it, so expect long campaigns (a debug build adds
-//! the `refresh_nil` leaf assert, which should fire earlier than the
-//! null-pointer crash).
+//! *baseline* hot path"). Two modes:
+//!
+//! * **Wall-clock mode** (default): replicates `bench_pr4` section 1's
+//!   baseline half — 3 mixes × TT 1,2,4,8 × 3 trials of 600 ms on
+//!   `BatAdapter::plain` with the baseline (pool-bypassing) hot path —
+//!   where one livelock and one SIGSEGV were observed across six full
+//!   sweeps. `cargo run --release -p bench --example bat_baseline_hunt
+//!   -- <iterations>`; 12 iterations (~430 runs) have not reproduced it.
+//!
+//! * **Deterministic-scheduler mode** (`--sched [schedules]`, PR 5):
+//!   explores seeded interleavings of a 3-thread
+//!   insert/remove/contains/rank mix on `BatSet` under the cooperative
+//!   scheduler, with reclamation poisoning (debug builds) and the
+//!   `refresh.rs` crash fences armed. Build with `--features
+//!   bench/sched-test` so every atomic access is a preemption point; a
+//!   reproduction dumps the seed + trace for exact replay.
+//!   `cargo run -p bench --features sched-test --example
+//!   bat_baseline_hunt -- --sched 2000`
 use std::time::Duration;
+
+use cbat_core::sched_hunt::hunt_body;
+use sched::{explore, ExploreConfig, Policy};
 use workloads::{OpMix, QueryKind, RunConfig};
-fn main() {
-    let iters: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().unwrap())
-        .unwrap_or(10);
+
+fn sched_mode(schedules: usize) {
+    if !cfg!(feature = "sched-test") {
+        eprintln!(
+            "WARNING: built without --features sched-test — atomics are not \
+             preemption points, so exploration only branches at spawn/join. \
+             Rebuild with `--features bench/sched-test` for a real hunt."
+        );
+    }
+    let per_cell = (schedules / 2).max(1);
+    let mut explored = 0usize;
+    let mut failures = 0usize;
+    for (opseed_base, policy) in [
+        (0x0BA7_1000u64, Policy::RandomWalk),
+        (0x0BA7_2000, Policy::Pct { depth: 3 }),
+    ] {
+        // Rotate op-stream seeds so long campaigns vary the workload too.
+        let mut remaining = per_cell;
+        let mut round = 0u64;
+        while remaining > 0 {
+            let chunk = remaining.min(100);
+            let opseed = opseed_base ^ round;
+            let cfg = ExploreConfig {
+                schedules: chunk,
+                seed: opseed_base ^ (round << 32) ^ 0x5EED,
+                max_steps: 3_000_000,
+                policy,
+                stop_on_failure: false,
+            };
+            let report = explore(&cfg, move || hunt_body(opseed));
+            explored += report.schedules;
+            failures += report.failures.len();
+            remaining -= chunk;
+            round += 1;
+            eprintln!(
+                "sched hunt: {explored} schedules explored, {failures} failures \
+                 (policy {policy:?})"
+            );
+        }
+    }
+    if failures == 0 {
+        eprintln!("ALL OK: {explored} schedules clean");
+    } else {
+        eprintln!("{failures} failing schedules — seeds+traces above");
+        std::process::exit(1);
+    }
+}
+
+fn wall_clock_mode(iters: usize) {
     let mixes = [[50u32, 50, 0, 0], [25, 25, 40, 10], [5, 5, 60, 30]];
     for it in 0..iters {
         cbat_core::hotpath::set_baseline(true);
@@ -38,4 +94,21 @@ fn main() {
         eprintln!("== iter {it} done ==");
     }
     eprintln!("ALL OK");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--sched") {
+        let schedules: usize = args
+            .get(1)
+            .map(|s| s.parse().expect("--sched <schedules>"))
+            .unwrap_or(500);
+        sched_mode(schedules);
+    } else {
+        let iters: usize = args
+            .first()
+            .map(|s| s.parse().expect("<iterations>"))
+            .unwrap_or(10);
+        wall_clock_mode(iters);
+    }
 }

@@ -7,7 +7,7 @@
 //! keeps *outside* the LLX/SCX record so augmentation does not interfere
 //! with chromatic tree operations (§4).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sched::atomic::{AtomicU64, Ordering};
 
 use llxscx::{Linked, Llx, RecordHeader};
 

@@ -567,7 +567,7 @@ where
         self.stats.record(kind);
         self.stats
             .scx_commits
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, sched::atomic::Ordering::Relaxed);
         for n in removed {
             unsafe { retire_node::<K, V, P>(guard, n.as_raw()) };
         }

@@ -6,8 +6,8 @@
 //! allocated nodes via one SCX (paper Fig. 2), finalizing the removed
 //! nodes. Rebalancing (in [`crate::rebalance`]) works the same way.
 
+use sched::atomic::{AtomicU64, Ordering};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use ebr::Guard;
 use llxscx::Llx;

@@ -294,7 +294,7 @@ mod negative_tests {
         let root = make();
         let inf1 = unsafe { N::from_raw(tree.entry().left_raw()) };
         let placeholder = inf1.left_raw();
-        unsafe { (*inf1.left_field()).store(root, std::sync::atomic::Ordering::Release) };
+        unsafe { (*inf1.left_field()).store(root, sched::atomic::Ordering::Release) };
         check(tree.validate(true));
         // Restore the placeholder so Drop walks a sane structure, and free
         // the hand-built nodes manually.
@@ -307,7 +307,7 @@ mod negative_tests {
             unsafe { dispose_unpublished::<u64, (), ()>(raw) };
         }
         let built = inf1.left_raw();
-        unsafe { (*inf1.left_field()).store(placeholder, std::sync::atomic::Ordering::Release) };
+        unsafe { (*inf1.left_field()).store(placeholder, sched::atomic::Ordering::Release) };
         free_rec(built);
     }
 

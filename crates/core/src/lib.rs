@@ -57,6 +57,7 @@ pub mod map;
 pub mod propagate;
 pub mod queries;
 pub mod refresh;
+pub mod sched_hunt;
 pub mod snapshot;
 pub mod stats;
 pub mod version;

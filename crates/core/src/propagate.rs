@@ -203,6 +203,7 @@ pub fn propagate<K, V, A>(
             } else {
                 next.right_raw()
             };
+            crate::refresh::fence_node_ptr(child_raw, next.as_raw(), "descent");
             let child = unsafe { BatNode::<K, V, A>::from_raw(child_raw) };
             if baseline {
                 // Faithful "before": one shared-stripe RMW per node

@@ -22,6 +22,54 @@ use crate::version::{dispose_version, Version, VersionSlot};
 /// version pointer.
 pub type BatNode<K, V, A> = Node<K, V, VersionSlot<K, V, A>>;
 
+/// The pointer pattern a fully [`ebr::pool`]-poisoned word reads as
+/// (debug builds fill recycled blocks with `0xDD`).
+#[cfg(debug_assertions)]
+const POISON_PTR: u64 = 0xDDDD_DDDD_DDDD_DDDD;
+
+/// Debug fence for the ROADMAP's rare BAT-baseline crash (one SIGSEGV at
+/// address `0x30` symbolized to `read_version → VersionSlot::load`, i.e. a
+/// null `BatNode` reached through a child pointer): validate a child
+/// pointer *before* dereferencing it, so the hunt fails fast with context
+/// (pointer, parent, EBR epoch, thread id) instead of faulting on a null
+/// or recycled node. Alignment rejects `0xDD…`-poisoned words too — the
+/// poison pattern is odd.
+#[inline]
+pub fn fence_node_ptr(raw: u64, parent: u64, role: &'static str) {
+    #[cfg(debug_assertions)]
+    if raw == 0 || raw == POISON_PTR || !raw.is_multiple_of(8) {
+        panic!(
+            "BAT reclamation fence: {role} child pointer {raw:#x} of node \
+             {parent:#x} is null/poisoned/misaligned (ebr epoch {}, thread \
+             {}) — latent reclamation race, see ROADMAP \"Rare \
+             liveness/memory bug in the BAT baseline hot path\"",
+            ebr::stats().epoch,
+            ebr::thread_id(),
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (raw, parent, role);
+}
+
+/// Companion fence for the version pointer a [`VersionSlot`] returns: a
+/// recycled-and-poisoned slot would hand back `0xDD…`, which the next
+/// `Version::from_raw` would fault on far from the cause.
+#[inline]
+fn fence_version_ptr(v: u64, node: u64) {
+    #[cfg(debug_assertions)]
+    if v == POISON_PTR || (v != 0 && !v.is_multiple_of(8)) {
+        panic!(
+            "BAT reclamation fence: version pointer {v:#x} of node {node:#x} \
+             is poisoned/misaligned (ebr epoch {}, thread {}) — node read \
+             after reclamation?",
+            ebr::stats().epoch,
+            ebr::thread_id(),
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (v, node);
+}
+
 /// Result of a top-level refresh (paper Fig. 12 `Refresh`).
 pub struct RefreshOutcome {
     /// Whether the CAS installed our new version.
@@ -47,6 +95,7 @@ where
 {
     let v = x.plugin.load();
     if v != 0 {
+        fence_version_ptr(v, x.as_raw());
         return v;
     }
     refresh_nil(x, stats);
@@ -71,6 +120,7 @@ where
         // Consistent (child, child.version) read: re-check the child
         // pointer after obtaining the version (Fig. 12 lines 19–22).
         let xl_raw = x.left_raw();
+        fence_node_ptr(xl_raw, x.as_raw(), "left");
         let xl = unsafe { BatNode::<K, V, A>::from_raw(xl_raw) };
         let vl = read_version(xl, stats);
         if x.left_raw() == xl_raw {
@@ -79,6 +129,7 @@ where
     };
     let vr = loop {
         let xr_raw = x.right_raw();
+        fence_node_ptr(xr_raw, x.as_raw(), "right");
         let xr = unsafe { BatNode::<K, V, A>::from_raw(xr_raw) };
         let vr = read_version(xr, stats);
         if x.right_raw() == xr_raw {
@@ -115,6 +166,7 @@ where
     let old = read_version(x, stats);
     let vl = loop {
         let xl_raw = x.left_raw();
+        fence_node_ptr(xl_raw, x.as_raw(), "left");
         let xl = unsafe { BatNode::<K, V, A>::from_raw(xl_raw) };
         let vl = read_version(xl, stats);
         if x.left_raw() == xl_raw {
@@ -123,6 +175,7 @@ where
     };
     let vr = loop {
         let xr_raw = x.right_raw();
+        fence_node_ptr(xr_raw, x.as_raw(), "right");
         let xr = unsafe { BatNode::<K, V, A>::from_raw(xr_raw) };
         let vr = read_version(xr, stats);
         if x.right_raw() == xr_raw {

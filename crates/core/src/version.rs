@@ -12,7 +12,7 @@
 //! propagate whose refresh created it, so a failed refresher can find the
 //! operation that beat it and delegate.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sched::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use chromatic::{NodePlugin, SentKey};
 

@@ -28,8 +28,8 @@
 //! constants; it is nonetheless allocation-free on the pin/unpin fast path
 //! and amortizes epoch scans over [`COLLECT_THRESHOLD`] retires.
 
+use sched::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 mod pad;
@@ -274,7 +274,7 @@ pub fn pin() -> Guard {
             let g = global();
             let e = g.epoch.load(Ordering::SeqCst);
             g.slots[local.id].announce.store(e, Ordering::SeqCst);
-            std::sync::atomic::fence(Ordering::SeqCst);
+            sched::atomic::fence(Ordering::SeqCst);
         }
     });
     Guard {

@@ -49,6 +49,48 @@ const MAX_CLASSES: usize = 32;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
+/// Debug-build poison byte written over every block the pool recycles.
+///
+/// A use-after-retire has two observable shapes, and the poison catches
+/// both early instead of letting the bug corrupt live objects silently:
+///
+/// * a stale *read* observes `0xDDDD…` garbage — pointer fields become
+///   the unmistakable pattern `0xDDDDDDDDDDDDDDDD` (misaligned, never a
+///   valid pool address), so the next dereference faults loudly and
+///   recognizably rather than walking into a recycled object;
+/// * a stale *write* lands in a free-listed block, and the next
+///   [`alloc_pooled`] of that class trips the all-bytes-poisoned check
+///   below with a panic naming the block.
+///
+/// Poisoning exists only under `debug_assertions`; release builds recycle
+/// blocks untouched.
+#[cfg(debug_assertions)]
+pub const POISON_BYTE: u8 = 0xDD;
+
+/// Fill a recycled block with [`POISON_BYTE`] (debug builds).
+#[cfg(debug_assertions)]
+#[inline]
+unsafe fn poison_block(p: *mut u8, size: usize) {
+    unsafe { std::ptr::write_bytes(p, POISON_BYTE, size) };
+}
+
+/// Verify a block about to leave the free list is still fully poisoned;
+/// a mismatch means some thread wrote through a retired pointer.
+#[cfg(debug_assertions)]
+#[inline]
+fn check_poison(p: *mut u8, size: usize) {
+    let bytes = unsafe { std::slice::from_raw_parts(p, size) };
+    if let Some(off) = bytes.iter().position(|&b| b != POISON_BYTE) {
+        panic!(
+            "ebr::pool: use-after-retire detected: pooled block {p:?} \
+             (size {size}) was modified at offset {off} \
+             (found {:#04x}, expected poison {POISON_BYTE:#04x}) while on \
+             the free list",
+            bytes[off]
+        );
+    }
+}
+
 /// Globally enable or disable pooling (enabled by default). Disabling does
 /// not flush existing free lists; it only routes new traffic to the global
 /// allocator. Used by the before/after benchmarks.
@@ -145,6 +187,8 @@ fn acquire_memory(layout: Layout) -> *mut u8 {
             .ok()
             .flatten();
         if let Some(p) = pooled {
+            #[cfg(debug_assertions)]
+            check_poison(p, layout.size());
             return p;
         }
     }
@@ -177,6 +221,10 @@ fn release_memory(p: *mut u8, layout: Layout) {
                     None => return false,
                 };
                 if class.free.len() < MAX_PER_CLASS {
+                    #[cfg(debug_assertions)]
+                    unsafe {
+                        poison_block(p, layout.size())
+                    };
                     class.free.push(p);
                     pools.recycled.set(pools.recycled.get() + 1);
                     true
@@ -252,8 +300,22 @@ pub unsafe fn dispose_pooled<T>(ptr: *mut T) {
 mod tests {
     use super::*;
 
+    /// `set_enabled` is process-global, and the poison tests depend on
+    /// their blocks actually landing on the free list: serialize every
+    /// test that toggles or depends on the enabled state. (`into_inner`
+    /// on poison recovery: the should-panic test unwinds while holding
+    /// the lock by design.)
+    static ENABLED_STATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn enabled_state_lock() -> std::sync::MutexGuard<'static, ()> {
+        ENABLED_STATE
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     #[test]
     fn alloc_reuses_released_memory() {
+        let _serial = enabled_state_lock();
         // Addresses may legitimately differ if other tests interleave on
         // this thread, so assert via the hit counter instead.
         let a = alloc_pooled(41u128);
@@ -268,6 +330,7 @@ mod tests {
 
     #[test]
     fn layout_classes_are_shared_across_types() {
+        let _serial = enabled_state_lock();
         #[repr(align(8))]
         struct A(#[allow(dead_code)] [u64; 3]);
         #[repr(align(8))]
@@ -311,6 +374,7 @@ mod tests {
 
     #[test]
     fn disabled_pool_falls_back_to_malloc() {
+        let _serial = enabled_state_lock();
         set_enabled(false);
         let p = alloc_pooled(7u16);
         assert_eq!(unsafe { *p }, 7);
@@ -323,5 +387,45 @@ mod tests {
         struct Z;
         let p = alloc_pooled(Z);
         unsafe { dispose_pooled(p) };
+    }
+
+    /// Satellite regression test: a write through a retired pointer must
+    /// trip the debug poison check on the next same-class allocation.
+    /// (The stale write targets memory the pool still owns — never
+    /// returned to the OS — so the test is deterministic and safe.)
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "use-after-retire")]
+    fn poison_check_trips_on_use_after_retire() {
+        // A layout distinctive to this test; each #[test] runs on its own
+        // thread, so this thread's free list holds exactly our block.
+        // The lock keeps `disabled_pool_falls_back_to_malloc` from
+        // disabling pooling mid-test, which would send our block to the
+        // OS allocator instead of the (poisoned) free list.
+        let _serial = enabled_state_lock();
+        assert!(enabled());
+        let p = alloc_pooled([7u64; 5]);
+        unsafe { dispose_pooled(p) };
+        // Use-after-retire: write through the stale pointer.
+        unsafe { (p as *mut u64).write(0xBAD) };
+        // The next allocation of the class pops the block and must panic.
+        let _ = alloc_pooled([8u64; 5]);
+    }
+
+    /// The happy path of the same check: an untouched retired block is
+    /// fully poisoned and recycles cleanly.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn poisoned_blocks_recycle_cleanly_when_untouched() {
+        let _serial = enabled_state_lock();
+        assert!(enabled());
+        let p = alloc_pooled([9u64; 5]);
+        unsafe { dispose_pooled(p) };
+        // Block is poisoned while parked on the free list.
+        let bytes = unsafe { std::slice::from_raw_parts(p as *const u8, 40) };
+        assert!(bytes.iter().all(|&b| b == POISON_BYTE));
+        let q = alloc_pooled([10u64; 5]);
+        assert_eq!(unsafe { (*q)[0] }, 10);
+        unsafe { dispose_pooled(q) };
     }
 }

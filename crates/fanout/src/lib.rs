@@ -62,8 +62,8 @@
 //! the same asymptotics. Version-list GC is the writer-driven trim above
 //! rather than \[33\]'s background scheme.
 
+use sched::atomic::{AtomicU64, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use ebr::CachePadded;
 use llxscx::{llx, scx, Linked, Llx, RecordHeader, MAX_V};
@@ -911,6 +911,226 @@ impl FanoutSnapshot<'_> {
     /// Rank (keys ≤ k) — Θ(#keys ≤ k) scan: unaugmented cost model.
     pub fn rank(&self, k: u64) -> u64 {
         self.range_count(0, k)
+    }
+}
+
+/// Deterministic-scheduler exploration of the publication-granularity
+/// property (the `sched-test` corpus; see `crates/sched`). PR 4 proved
+/// `sibling_publish_overlap_conflict_window` on ONE hand-staged
+/// interleaving; here the same property is re-proven across 1000+
+/// *explored* interleavings: every schedule preempts both writers at
+/// every atomic step of descent, LLX, SCX and trim.
+#[cfg(all(test, feature = "sched-test"))]
+mod sched_tests {
+    use super::*;
+    use sched::{explore, ExploreConfig, Policy};
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    use std::sync::Arc;
+
+    /// Build a set whose root is an internal node over several half-full
+    /// leaves, and return it with two absent keys routing into the
+    /// requested child slots (odd keys; the setup inserts evens only).
+    /// Target leaves are comfortably below `LEAF_CAP`, so the racing
+    /// inserts cannot split — a split would legitimately freeze sibling
+    /// edges and confound the granularity measurement.
+    fn setup(per_holder: bool, same_slot: bool) -> (Arc<FanoutSet>, u64, u64) {
+        let s = Arc::new(if per_holder {
+            FanoutSet::new_per_holder()
+        } else {
+            FanoutSet::new()
+        });
+        for k in (0..64u64).step_by(2) {
+            s.insert(k);
+        }
+        let _g = ebr::pin();
+        let parent_raw = s.root.read(&s.clock).0;
+        let parent = unsafe { BNode::from_raw(parent_raw) };
+        let (_, edges) = parent.fan();
+        assert!(edges.len() >= 2, "setup must split the root");
+        let leaf_keys = |slot: usize| {
+            let head = edges[slot].head();
+            let leaf_raw = unsafe { VersionRecord::from_raw(head) }.child();
+            unsafe { BNode::from_raw(leaf_raw) }.keys()
+        };
+        // Sequential insertion leaves the rightmost leaf full; race only
+        // into leaves with room for both keys (no split possible).
+        let eligible: Vec<usize> = (0..edges.len())
+            .filter(|&i| {
+                let n = leaf_keys(i).len();
+                n >= 2 && n + 2 <= LEAF_CAP
+            })
+            .collect();
+        assert!(eligible.len() >= 2, "need two half-full sibling leaves");
+        let key_in = |slot: usize, idx: usize| leaf_keys(slot)[idx] + 1;
+        let (ka, kb) = if same_slot {
+            (key_in(eligible[0], 0), key_in(eligible[0], 1))
+        } else {
+            (
+                key_in(eligible[0], 0),
+                key_in(*eligible.last().expect("non-empty"), 0),
+            )
+        };
+        (s, ka, kb)
+    }
+
+    /// Run the overlapped-publish scenario once (two complete concurrent
+    /// inserts) and return the racing phase's publication-stat deltas.
+    fn race_once(per_holder: bool, same_slot: bool) -> PubSnapshot {
+        let (s, ka, kb) = setup(per_holder, same_slot);
+        let before = s.pub_stats();
+        let (s1, s2) = (s.clone(), s.clone());
+        let t1 = sched::spawn(move || assert!(s1.insert(ka)));
+        let t2 = sched::spawn(move || assert!(s2.insert(kb)));
+        t1.join();
+        t2.join();
+        assert!(
+            s.contains(ka) && s.contains(kb),
+            "both overlapped publishes must land"
+        );
+        let after = s.pub_stats();
+        PubSnapshot {
+            attempts: after.attempts - before.attempts,
+            commits: after.commits - before.commits,
+            aborts: after.aborts - before.aborts,
+            retries: after.retries - before.retries,
+        }
+    }
+
+    /// The PR 4 tentpole property across ≥ 1000 explored interleavings:
+    ///
+    /// * per-edge granularity, sibling slots: the two publishes share no
+    ///   frozen records — **every** explored schedule commits both with
+    ///   zero aborts and zero retries (the conflict window is gone);
+    /// * per-holder granularity, sibling slots: both writers freeze the
+    ///   shared holder — overlapping schedules abort/retry (the corpus
+    ///   must witness conflicts), yet both inserts always complete.
+    #[test]
+    fn sibling_publish_overlap_conflict_window_explored() {
+        let mut explored = 0usize;
+
+        // Per-edge: zero conflicts in every single schedule.
+        for (policy, schedules, seed) in [
+            (Policy::RandomWalk, 420, 0x009E_D6E1),
+            (Policy::Pct { depth: 3 }, 140, 0x009E_D6E2),
+        ] {
+            let cfg = ExploreConfig {
+                schedules,
+                seed,
+                max_steps: 400_000,
+                policy,
+                stop_on_failure: true,
+            };
+            let report = explore(&cfg, move || {
+                let d = race_once(false, false);
+                assert_eq!(d.commits, 2, "each insert publishes exactly once");
+                assert_eq!(
+                    (d.aborts, d.retries),
+                    (0, 0),
+                    "per-edge sibling publishes share no frozen records"
+                );
+            });
+            report.assert_clean("per-edge sibling overlap");
+            explored += report.schedules;
+        }
+
+        // Per-holder: conflicts must be witnessed across the corpus (and
+        // helping still gets every insert through in every schedule).
+        let conflicts = Arc::new(StdAtomicU64::new(0));
+        for (policy, schedules, seed) in [
+            (Policy::RandomWalk, 420, 0x0401_DE01),
+            (Policy::Pct { depth: 3 }, 140, 0x0401_DE02),
+        ] {
+            let cfg = ExploreConfig {
+                schedules,
+                seed,
+                max_steps: 400_000,
+                policy,
+                stop_on_failure: true,
+            };
+            let c2 = conflicts.clone();
+            let report = explore(&cfg, move || {
+                let d = race_once(true, false);
+                assert_eq!(d.commits, 2, "aborted publishes must retry to success");
+                c2.fetch_add(d.aborts + d.retries, std::sync::atomic::Ordering::Relaxed);
+            });
+            report.assert_clean("per-holder sibling overlap");
+            explored += report.schedules;
+        }
+        assert!(
+            conflicts.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "per-holder granularity must conflict somewhere in the corpus"
+        );
+        assert!(
+            explored >= 1000,
+            "acceptance: ≥1000 explored interleavings, got {explored}"
+        );
+    }
+
+    /// Same-slot overlap is a true data conflict: across the corpus BOTH
+    /// granularities must witness conflicts (abort or retry), and no
+    /// update may be lost in any schedule.
+    #[test]
+    fn same_slot_overlap_conflicts_under_both_granularities() {
+        for (per_holder, seed) in [(false, 0x005A_3E01u64), (true, 0x005A_3E02)] {
+            let conflicts = Arc::new(StdAtomicU64::new(0));
+            let cfg = ExploreConfig {
+                schedules: 120,
+                seed,
+                max_steps: 400_000,
+                policy: Policy::RandomWalk,
+                stop_on_failure: true,
+            };
+            let c2 = conflicts.clone();
+            let report = explore(&cfg, move || {
+                let d = race_once(per_holder, true);
+                assert_eq!(d.commits, 2, "no update may be lost");
+                c2.fetch_add(d.aborts + d.retries, std::sync::atomic::Ordering::Relaxed);
+            });
+            report.assert_clean("same-slot overlap");
+            assert!(
+                conflicts.load(std::sync::atomic::Ordering::Relaxed) > 0,
+                "per_holder={per_holder}: same-slot overlap must conflict \
+                 somewhere in {} schedules",
+                report.schedules
+            );
+        }
+    }
+
+    /// Snapshots cut through explored interleavings consistently: a
+    /// snapshot taken while two sibling-slot writers race must observe
+    /// one of the four possible consistent states (neither/either/both
+    /// keys), never a torn count.
+    #[test]
+    fn snapshots_stay_consistent_across_explored_interleavings() {
+        let cfg = ExploreConfig {
+            schedules: 150,
+            seed: 0x0005_AAB5,
+            max_steps: 400_000,
+            policy: Policy::RandomWalk,
+            stop_on_failure: true,
+        };
+        explore(&cfg, || {
+            let (s, ka, kb) = setup(false, false);
+            let base = s.len_slow();
+            let (s1, s2, s3) = (s.clone(), s.clone(), s.clone());
+            let t1 = sched::spawn(move || assert!(s1.insert(ka)));
+            let t2 = sched::spawn(move || assert!(s2.insert(kb)));
+            let reader = sched::spawn(move || {
+                let snap = s3.snapshot();
+                let n = snap.range_count(0, u64::MAX);
+                let (a, b) = (snap.contains(ka), snap.contains(kb));
+                assert_eq!(
+                    n,
+                    base + a as u64 + b as u64,
+                    "snapshot count must match its own membership cut"
+                );
+            });
+            t1.join();
+            t2.join();
+            reader.join();
+            assert_eq!(s.len_slow(), base + 2);
+        })
+        .assert_clean("snapshot consistency under exploration");
     }
 }
 

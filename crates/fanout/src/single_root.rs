@@ -10,8 +10,8 @@
 //! thread-local replaced-path scratch) is identical in both, so the
 //! benchmark isolates the publication scheme.
 
+use sched::atomic::{AtomicU64, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{PubSnapshot, PubStats, LEAF_CAP, NODE_CAP};
 

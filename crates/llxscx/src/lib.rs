@@ -36,7 +36,7 @@
 //! CAS of a finished operation always fails because child-pointer values
 //! never recur while any helper can hold them, by epoch reclamation).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use sched::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use ebr::CachePadded;
@@ -445,6 +445,269 @@ fn help(tid: usize, seq: u64) {
         Ordering::SeqCst,
         Ordering::SeqCst,
     );
+}
+
+/// Deterministic-scheduler model checks of the LLX/SCX protocol (the
+/// `sched-test` exploration corpus; see `crates/sched`). Every schedule
+/// preempts the protocol at each atomic step, so the freeze/help/finalize
+/// paths — including helpers completing a preempted owner's SCX — are
+/// exercised under controlled interleavings rather than scheduling luck.
+#[cfg(all(test, feature = "sched-test"))]
+mod sched_tests {
+    use super::*;
+    use sched::{explore, ExploreConfig, Policy};
+    use std::sync::Arc;
+
+    struct Cell {
+        header: RecordHeader,
+        value: AtomicU64,
+    }
+
+    impl Cell {
+        fn new(v: u64) -> Self {
+            Cell {
+                header: RecordHeader::new(),
+                value: AtomicU64::new(v),
+            }
+        }
+
+        fn llx(&self) -> Llx<u64> {
+            llx(&self.header, || self.value.load(Ordering::Acquire))
+        }
+    }
+
+    /// Retry an llx+scx increment until it commits; returns the observed
+    /// predecessor value.
+    fn increment(c: &Cell) -> u64 {
+        loop {
+            let g = ebr::pin();
+            if let Llx::Ok { info, snapshot } = c.llx() {
+                let ok = unsafe {
+                    scx(
+                        &[Linked {
+                            header: &c.header,
+                            info,
+                        }],
+                        0,
+                        &c.value,
+                        snapshot,
+                        snapshot + 1,
+                    )
+                };
+                if ok {
+                    return snapshot;
+                }
+            }
+            drop(g);
+        }
+    }
+
+    /// Two writers, two increments each, preempted at every atomic step:
+    /// every explored schedule must commit all four increments with four
+    /// distinct predecessors (no lost updates, no stuck helpers).
+    #[test]
+    fn increments_survive_every_explored_preemption() {
+        for (policy, schedules, seed) in [
+            (Policy::RandomWalk, 250, 0x11C5_C001),
+            (Policy::Pct { depth: 3 }, 150, 0x11C5_C002),
+        ] {
+            let cfg = ExploreConfig {
+                schedules,
+                seed,
+                max_steps: 200_000,
+                policy,
+                stop_on_failure: true,
+            };
+            explore(&cfg, || {
+                let c = Arc::new(Cell::new(0));
+                let hs: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = c.clone();
+                        sched::spawn(move || [increment(&c), increment(&c)])
+                    })
+                    .collect();
+                let mut olds: Vec<u64> = hs.into_iter().flat_map(|h| h.join()).collect();
+                assert_eq!(c.value.load(Ordering::SeqCst), 4, "a commit was lost");
+                olds.sort_unstable();
+                olds.dedup();
+                assert_eq!(olds.len(), 4, "two commits saw the same predecessor");
+            })
+            .assert_clean("llx/scx increment model check");
+        }
+    }
+
+    /// Finalization under preemption: one writer finalizes record `b`
+    /// while updating `a`; a racing observer must see `b`'s lifecycle
+    /// monotone (never `Ok` after `Finalized`), and a racing writer on
+    /// `b` must never commit after `b` is finalized.
+    #[test]
+    fn finalize_is_monotone_under_preemption() {
+        let cfg = ExploreConfig {
+            schedules: 250,
+            seed: 0x0F1A_A17E,
+            max_steps: 200_000,
+            policy: Policy::RandomWalk,
+            stop_on_failure: true,
+        };
+        explore(&cfg, || {
+            let a = Arc::new(Cell::new(10));
+            let b = Arc::new(Cell::new(20));
+            let (a1, b1) = (a.clone(), b.clone());
+            let finalizer = sched::spawn(move || loop {
+                let g = ebr::pin();
+                if let (
+                    Llx::Ok {
+                        info: ia,
+                        snapshot: sa,
+                    },
+                    Llx::Ok {
+                        info: ib,
+                        snapshot: _,
+                    },
+                ) = (a1.llx(), b1.llx())
+                {
+                    let ok = unsafe {
+                        scx(
+                            &[
+                                Linked {
+                                    header: &a1.header,
+                                    info: ia,
+                                },
+                                Linked {
+                                    header: &b1.header,
+                                    info: ib,
+                                },
+                            ],
+                            0b10,
+                            &a1.value,
+                            sa,
+                            sa + 1,
+                        )
+                    };
+                    if ok {
+                        return;
+                    }
+                }
+                drop(g);
+            });
+            let b2 = b.clone();
+            let observer = sched::spawn(move || {
+                let mut seen_finalized = false;
+                let mut late_commits = 0u32;
+                for _ in 0..6 {
+                    let g = ebr::pin();
+                    match b2.llx() {
+                        Llx::Finalized => seen_finalized = true,
+                        Llx::Ok { info, snapshot } => {
+                            assert!(!seen_finalized, "finalized record resurrected to Ok");
+                            // A racing writer on b: may commit only while b
+                            // is still live.
+                            let ok = unsafe {
+                                scx(
+                                    &[Linked {
+                                        header: &b2.header,
+                                        info,
+                                    }],
+                                    0,
+                                    &b2.value,
+                                    snapshot,
+                                    snapshot + 100,
+                                )
+                            };
+                            if ok {
+                                assert!(!seen_finalized, "commit on a finalized record");
+                                late_commits += 1;
+                            }
+                        }
+                        Llx::Fail => {}
+                    }
+                    drop(g);
+                }
+                late_commits
+            });
+            finalizer.join();
+            observer.join();
+            assert!(b.header.is_finalized(), "the committed SCX finalized b");
+            assert!(matches!(b.llx(), Llx::Finalized));
+            assert_eq!(a.value.load(Ordering::SeqCst), 11);
+        })
+        .assert_clean("llx/scx finalize model check");
+    }
+
+    /// Overlapping freeze sets resolve exactly one winner per round under
+    /// every explored schedule: two threads SCX over the records {a, b}
+    /// in the same order; committed operations chain distinct
+    /// predecessors and the final count matches the commits.
+    #[test]
+    fn overlapping_freeze_sets_have_one_winner_per_value() {
+        let cfg = ExploreConfig {
+            schedules: 200,
+            seed: 0x000F_5E75,
+            max_steps: 200_000,
+            policy: Policy::RandomWalk,
+            stop_on_failure: true,
+        };
+        explore(&cfg, || {
+            let a = Arc::new(Cell::new(0));
+            let b = Arc::new(Cell::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let (a, b) = (a.clone(), b.clone());
+                    sched::spawn(move || {
+                        let mut olds = Vec::new();
+                        for _ in 0..2 {
+                            loop {
+                                let g = ebr::pin();
+                                if let (
+                                    Llx::Ok {
+                                        info: ia,
+                                        snapshot: sa,
+                                    },
+                                    Llx::Ok {
+                                        info: ib,
+                                        snapshot: _,
+                                    },
+                                ) = (a.llx(), b.llx())
+                                {
+                                    let ok = unsafe {
+                                        scx(
+                                            &[
+                                                Linked {
+                                                    header: &a.header,
+                                                    info: ia,
+                                                },
+                                                Linked {
+                                                    header: &b.header,
+                                                    info: ib,
+                                                },
+                                            ],
+                                            0,
+                                            &a.value,
+                                            sa,
+                                            sa + 1,
+                                        )
+                                    };
+                                    if ok {
+                                        olds.push(sa);
+                                        drop(g);
+                                        break;
+                                    }
+                                }
+                                drop(g);
+                            }
+                        }
+                        olds
+                    })
+                })
+                .collect();
+            let mut olds: Vec<u64> = hs.into_iter().flat_map(|h| h.join()).collect();
+            assert_eq!(a.value.load(Ordering::SeqCst), 4);
+            olds.sort_unstable();
+            olds.dedup();
+            assert_eq!(olds.len(), 4, "freeze conflict resolved two winners");
+        })
+        .assert_clean("llx/scx overlapping freeze sets");
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! records, exercising freeze conflicts, helping and finalization at a
 //! scale the unit tests do not.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sched::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use llxscx::{llx, scx, Linked, Llx, RecordHeader};

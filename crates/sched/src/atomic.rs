@@ -1,0 +1,193 @@
+//! Atomic shims: `std::sync::atomic` with scheduler yield points.
+//!
+//! The protocol crates import `AtomicU64` / `AtomicBool` / `AtomicUsize` /
+//! `fence` / `Ordering` from this module instead of `std::sync::atomic`.
+//! Without the `sched-test` feature the module is a plain re-export — the
+//! types *are* the std types and release hot paths compile identically.
+//! With the feature, each type is a `#[repr(transparent)]` wrapper that
+//! calls [`crate::vthread::yield_point`] before every operation, so a
+//! managed virtual thread can be preempted at every shared-memory access.
+//! Threads not managed by a scheduler pass straight through (one
+//! thread-local check), so ordinary tests keep working with the feature
+//! enabled.
+//!
+//! Only the operations the workspace actually uses are wrapped; extending
+//! the surface is mechanical.
+
+#[cfg(not(feature = "sched-test"))]
+pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(feature = "sched-test")]
+pub use instrumented::{fence, AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(feature = "sched-test")]
+pub use std::sync::atomic::Ordering;
+
+#[cfg(feature = "sched-test")]
+mod instrumented {
+    use std::sync::atomic::Ordering;
+
+    use crate::vthread::yield_point;
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Yield-instrumented counterpart of the std atomic type.
+            #[repr(transparent)]
+            #[derive(Default)]
+            pub struct $name($std);
+
+            impl $name {
+                #[inline]
+                pub const fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                #[inline]
+                pub fn load(&self, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.load(order)
+                }
+
+                #[inline]
+                pub fn store(&self, val: $prim, order: Ordering) {
+                    yield_point();
+                    self.0.store(val, order)
+                }
+
+                #[inline]
+                pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.swap(val, order)
+                }
+
+                #[inline]
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                #[inline]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_point();
+                    self.0.compare_exchange_weak(current, new, success, failure)
+                }
+
+                #[inline]
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.0.get_mut()
+                }
+
+                #[inline]
+                pub fn into_inner(self) -> $prim {
+                    self.0.into_inner()
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.0.fmt(f)
+                }
+            }
+
+            impl From<$prim> for $name {
+                fn from(v: $prim) -> Self {
+                    Self::new(v)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    instrumented_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    macro_rules! fetch_ops {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                #[inline]
+                pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.fetch_add(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.fetch_sub(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.fetch_max(val, order)
+                }
+
+                #[inline]
+                pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
+                    yield_point();
+                    self.0.fetch_min(val, order)
+                }
+            }
+        };
+    }
+
+    fetch_ops!(AtomicU64, u64);
+    fetch_ops!(AtomicUsize, usize);
+
+    impl AtomicBool {
+        #[inline]
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            yield_point();
+            self.0.fetch_or(val, order)
+        }
+
+        #[inline]
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            yield_point();
+            self.0.fetch_and(val, order)
+        }
+    }
+
+    /// Yield-instrumented memory fence.
+    #[inline]
+    pub fn fence(order: Ordering) {
+        yield_point();
+        std::sync::atomic::fence(order)
+    }
+}
+
+#[cfg(all(test, feature = "sched-test"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shims_behave_like_std_outside_a_scheduler() {
+        let a = AtomicU64::new(5);
+        assert_eq!(a.load(Ordering::SeqCst), 5);
+        a.store(7, Ordering::SeqCst);
+        assert_eq!(a.swap(9, Ordering::SeqCst), 7);
+        assert_eq!(
+            a.compare_exchange(9, 10, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(9)
+        );
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 10);
+        assert_eq!(a.fetch_max(100, Ordering::SeqCst), 11);
+        let b = AtomicBool::new(false);
+        b.store(true, Ordering::SeqCst);
+        assert!(b.load(Ordering::SeqCst));
+        let u = AtomicUsize::new(1);
+        assert_eq!(u.fetch_add(2, Ordering::SeqCst), 1);
+        fence(Ordering::SeqCst);
+    }
+}

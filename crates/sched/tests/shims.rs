@@ -1,0 +1,102 @@
+//! Proof that the instrumented atomic shims are real preemption points:
+//! classic races become *enumerable*. These tests only make sense with
+//! the shims instrumented, so the whole file is feature-gated.
+#![cfg(feature = "sched-test")]
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use sched::atomic::{AtomicU64, Ordering};
+use sched::{explore_exhaustive, spawn};
+
+/// Two threads each run the racy read-modify-write `load; store(v+1)`.
+/// The bounded exhaustive explorer must enumerate both outcomes: the
+/// lost-update interleaving (final value 1) and the serialized ones
+/// (final value 2). This is the canonical check that every shim operation
+/// is a schedule branching point.
+#[test]
+fn exhaustive_exploration_finds_the_lost_update() {
+    let outcomes = Arc::new(Mutex::new(HashSet::new()));
+    let o2 = outcomes.clone();
+    let report = explore_exhaustive(10_000, 100_000, move || {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                spawn(move || {
+                    let v = c.load(Ordering::SeqCst);
+                    c.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        o2.lock().unwrap().insert(c.load(Ordering::SeqCst));
+    });
+    report.assert_clean("racy increment enumeration");
+    assert!(
+        report.exhausted,
+        "two threads × two shim ops must be exhaustible, ran {}",
+        report.schedules
+    );
+    let outcomes = outcomes.lock().unwrap();
+    assert!(
+        outcomes.contains(&1),
+        "the lost-update schedule must be found: {outcomes:?}"
+    );
+    assert!(
+        outcomes.contains(&2),
+        "the serialized schedules must be found: {outcomes:?}"
+    );
+    assert_eq!(outcomes.len(), 2, "no other final value is reachable");
+}
+
+/// The same shape with `fetch_add` — a single atomic step — can never
+/// lose an update in ANY enumerated schedule.
+#[test]
+fn exhaustive_exploration_proves_fetch_add_never_loses() {
+    let report = explore_exhaustive(10_000, 100_000, || {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2, "fetch_add lost an update");
+    });
+    report.assert_clean("fetch_add enumeration");
+    assert!(report.exhausted);
+}
+
+/// Compare-and-swap retry loops survive every enumerated preemption.
+#[test]
+fn exhaustive_cas_loops_always_converge() {
+    let report = explore_exhaustive(20_000, 100_000, || {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                spawn(move || loop {
+                    let v = c.load(Ordering::SeqCst);
+                    if c.compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    report.assert_clean("CAS loop enumeration");
+}

@@ -29,7 +29,7 @@
 //! edge's list down to what live snapshots can still reach
 //! ([`vedge::trim`]) — an idle edge's history is one record.
 
-use std::sync::atomic::AtomicU64;
+use sched::atomic::AtomicU64;
 
 use llxscx::{Llx, RecordHeader};
 use vedge::{SnapRegistry, VersionRecord, VersionedEdge};

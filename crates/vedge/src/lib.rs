@@ -43,7 +43,7 @@
 //! unstamped record stamps it first (the CAS makes this race-free). Only
 //! snapshots advance the clock, exactly as in \[33\].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sched::atomic::{AtomicU64, Ordering};
 
 use ebr::{CachePadded, Guard};
 use llxscx::{Llx, RecordHeader};

@@ -11,6 +11,7 @@
 //! * a timed throughput harness reporting ops/s and sampled per-kind
 //!   latencies (for Fig. 9).
 
+pub mod linearize;
 pub mod rng;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

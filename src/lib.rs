@@ -10,7 +10,10 @@
 //! * [`ebr`] — epoch-based memory reclamation;
 //! * [`vcas`], [`fanout`] — unaugmented snapshot-tree comparators;
 //! * [`vedge`] — the versioned-edge machinery they share;
-//! * [`workloads`] — SetBench-style benchmark harness.
+//! * [`sched`] — deterministic schedule exploration (cooperative
+//!   scheduler + instrumented atomic shims, `sched-test` feature);
+//! * [`workloads`] — SetBench-style benchmark harness + linearizability
+//!   checker.
 //!
 //! See `examples/` for runnable end-to-end programs and `crates/bench`
 //! for the harness regenerating every figure of the paper.
@@ -26,6 +29,7 @@ pub use fanout;
 pub use frbst;
 pub use frbst::{FrMap, FrSet};
 pub use llxscx;
+pub use sched;
 pub use vcas;
 pub use vedge;
 pub use workloads;

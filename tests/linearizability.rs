@@ -1,234 +1,49 @@
-//! Per-key linearizability checking.
+//! Per-key linearizability of point operations, across structures.
 //!
-//! For a set object, `insert(k)`/`remove(k)`/`contains(k)` on *different*
-//! keys commute, so the whole history is linearizable iff each per-key
-//! sub-history is linearizable against sequential boolean-set semantics.
-//! We record timestamped invocation/response intervals for a contended
-//! workload and run an interval-order linearizability check per key.
+//! The checker and history recorder live in `workloads::linearize` (they
+//! were extracted from this file so any `BenchSet` adapter can run under
+//! them); this suite drives the real structures through the bench
+//! adapters: BAT under two delegation policies, the fanout tree at both
+//! publication granularities (per-edge — the PR 4 tentpole — and the
+//! retained per-holder ablation), and the unaugmented chromatic tree.
 //!
-//! (Rank/select queries span keys and are exercised by the snapshot
-//! consistency tests instead; here we nail the point operations.)
+//! Histories are recorded on a hot 8-key space by 6 threads, so nearly
+//! every operation contends; each per-key sub-history is then checked
+//! against sequential boolean-set semantics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use bench::{BatAdapter, ChromaticAdapter, FanoutAdapter, PerHolderFanoutAdapter};
+use workloads::linearize::assert_point_ops_linearizable;
+use workloads::BenchSet;
 
-use cbat::{BatSet, DelegationPolicy};
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OpKind {
-    Insert,
-    Remove,
-    Contains,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    kind: OpKind,
-    result: bool,
-    invoke: u64,
-    ret: u64,
-}
-
-/// Check linearizability of one key's history against a boolean set:
-/// exhaustive search over linear extensions of the interval order. The
-/// interval-order pruning (only ops invoked before the earliest pending
-/// return may linearize first) keeps this fast for our history sizes.
-fn check_key_history(events: &mut [Event]) -> bool {
-    events.sort_by_key(|e| e.invoke);
-    let n = events.len();
-    if n == 0 {
-        return true;
-    }
-    let mut used = vec![false; n];
-    search(events, &mut used, n, false)
-}
-
-fn apply(kind: OpKind, result: bool, state: bool) -> Option<bool> {
-    match kind {
-        OpKind::Insert => {
-            if result != state {
-                Some(true)
-            } else {
-                None
-            }
-        }
-        OpKind::Remove => {
-            if result == state {
-                Some(false)
-            } else {
-                None
-            }
-        }
-        OpKind::Contains => {
-            if result == state {
-                Some(state)
-            } else {
-                None
-            }
-        }
-    }
-}
-
-fn search(events: &[Event], used: &mut [bool], remaining: usize, state: bool) -> bool {
-    if remaining == 0 {
-        return true;
-    }
-    // Earliest return among unused ops: any op invoked after it cannot be
-    // linearized first (interval-order pruning).
-    let min_ret = events
-        .iter()
-        .zip(used.iter())
-        .filter(|(_, u)| !**u)
-        .map(|(e, _)| e.ret)
-        .min()
-        .unwrap();
-    for i in 0..events.len() {
-        if used[i] || events[i].invoke > min_ret {
-            continue;
-        }
-        if let Some(next) = apply(events[i].kind, events[i].result, state) {
-            used[i] = true;
-            if search(events, used, remaining - 1, next) {
-                used[i] = false;
-                return true;
-            }
-            used[i] = false;
-        }
-    }
-    false
-}
-
-fn record_history(policy: DelegationPolicy, keys: u64, per_thread: usize) -> Vec<Vec<Event>> {
-    let set = Arc::new(BatSet::<u64>::with_policy(policy));
-    let clock = Arc::new(AtomicU64::new(0));
-    let handles: Vec<_> = (0..6u64)
-        .map(|t| {
-            let set = set.clone();
-            let clock = clock.clone();
-            std::thread::spawn(move || {
-                let mut out: Vec<(u64, Event)> = Vec::new();
-                let mut x = t * 7 + 1;
-                for _ in 0..per_thread {
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    let k = x % keys;
-                    let kind = match x % 3 {
-                        0 => OpKind::Insert,
-                        1 => OpKind::Remove,
-                        _ => OpKind::Contains,
-                    };
-                    let invoke = clock.fetch_add(1, Ordering::SeqCst);
-                    let result = match kind {
-                        OpKind::Insert => set.insert(k),
-                        OpKind::Remove => set.remove(&k),
-                        OpKind::Contains => set.contains(&k),
-                    };
-                    let ret = clock.fetch_add(1, Ordering::SeqCst);
-                    out.push((
-                        k,
-                        Event {
-                            kind,
-                            result,
-                            invoke,
-                            ret,
-                        },
-                    ));
-                }
-                out
-            })
-        })
-        .collect();
-    let mut per_key: Vec<Vec<Event>> = (0..keys).map(|_| Vec::new()).collect();
-    for h in handles {
-        for (k, e) in h.join().unwrap() {
-            per_key[k as usize].push(e);
-        }
-    }
-    per_key
+fn check(set: &dyn BenchSet, what: &str) {
+    assert_point_ops_linearizable(set, 6, 8, 40, 0x0BA7_05E7, what);
+    ebr::flush();
 }
 
 #[test]
 fn point_ops_linearizable_bat() {
-    let histories = record_history(DelegationPolicy::None, 8, 40);
-    for (k, mut h) in histories.into_iter().enumerate() {
-        assert!(
-            check_key_history(&mut h),
-            "key {k}: history not linearizable: {h:?}"
-        );
-    }
-    ebr::flush();
+    check(&BatAdapter::plain(), "BAT (no delegation)");
 }
 
 #[test]
 fn point_ops_linearizable_eager_del() {
-    let histories = record_history(
-        DelegationPolicy::EagerDel {
-            timeout: Some(std::time::Duration::from_millis(1)),
-        },
-        8,
-        40,
-    );
-    for (k, mut h) in histories.into_iter().enumerate() {
-        assert!(
-            check_key_history(&mut h),
-            "key {k}: history not linearizable: {h:?}"
-        );
-    }
-    ebr::flush();
+    check(&BatAdapter::eager(), "BAT-EagerDel");
 }
 
 #[test]
-fn checker_rejects_broken_histories() {
-    // Sanity: a history that claims two successful inserts of the same
-    // key with no intervening successful remove must be rejected.
-    let mut bad = vec![
-        Event {
-            kind: OpKind::Insert,
-            result: true,
-            invoke: 0,
-            ret: 1,
-        },
-        Event {
-            kind: OpKind::Insert,
-            result: true,
-            invoke: 2,
-            ret: 3,
-        },
-    ];
-    assert!(!check_key_history(&mut bad));
+fn point_ops_linearizable_fanout_per_edge() {
+    check(&FanoutAdapter::new(), "fanout (per-edge publication)");
+}
 
-    // And a contains(false) strictly after a successful insert.
-    let mut bad2 = vec![
-        Event {
-            kind: OpKind::Insert,
-            result: true,
-            invoke: 0,
-            ret: 1,
-        },
-        Event {
-            kind: OpKind::Contains,
-            result: false,
-            invoke: 2,
-            ret: 3,
-        },
-    ];
-    assert!(!check_key_history(&mut bad2));
+#[test]
+fn point_ops_linearizable_fanout_per_holder() {
+    check(
+        &PerHolderFanoutAdapter::new(),
+        "fanout (per-holder ablation)",
+    );
+}
 
-    // A concurrent pair where either order works must be accepted.
-    let mut ok = vec![
-        Event {
-            kind: OpKind::Insert,
-            result: true,
-            invoke: 0,
-            ret: 5,
-        },
-        Event {
-            kind: OpKind::Contains,
-            result: false,
-            invoke: 1,
-            ret: 2,
-        },
-    ];
-    assert!(check_key_history(&mut ok));
+#[test]
+fn point_ops_linearizable_chromatic() {
+    check(&ChromaticAdapter::new(), "chromatic (unaugmented)");
 }
