@@ -13,14 +13,16 @@
 //!   explores seeded interleavings of a 3-thread
 //!   insert/remove/contains/rank mix on `BatSet` under the cooperative
 //!   scheduler, with reclamation poisoning (debug builds) and the
-//!   `refresh.rs` crash fences armed. Build with `--features
+//!   `refresh.rs` crash fences armed. Alternate rounds add a fourth
+//!   vthread that toggles `hotpath::set_baseline` mid-race, so the
+//!   pool-bypass allocation path is explored too. Build with `--features
 //!   bench/sched-test` so every atomic access is a preemption point; a
 //!   reproduction dumps the seed + trace for exact replay.
 //!   `cargo run -p bench --features sched-test --example
 //!   bat_baseline_hunt -- --sched 2000`
 use std::time::Duration;
 
-use cbat_core::sched_hunt::hunt_body;
+use cbat_core::sched_hunt::{hunt_body, hunt_body_baseline_toggle};
 use sched::{explore, ExploreConfig, Policy};
 use workloads::{OpMix, QueryKind, RunConfig};
 
@@ -35,10 +37,13 @@ fn sched_mode(schedules: usize) {
     let per_cell = (schedules / 2).max(1);
     let mut explored = 0usize;
     let mut failures = 0usize;
-    for (opseed_base, policy) in [
+    for (cell, (opseed_base, policy)) in [
         (0x0BA7_1000u64, Policy::RandomWalk),
         (0x0BA7_2000, Policy::Pct { depth: 3 }),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         // Rotate op-stream seeds so long campaigns vary the workload too.
         let mut remaining = per_cell;
         let mut round = 0u64;
@@ -52,14 +57,23 @@ fn sched_mode(schedules: usize) {
                 policy,
                 stop_on_failure: false,
             };
-            let report = explore(&cfg, move || hunt_body(opseed));
+            // Alternate rounds between the plain mix and the variant whose
+            // fourth vthread flips `hotpath::set_baseline` mid-race, so
+            // long campaigns also explore the pool-*bypass* allocation
+            // path (the one reclamation poisoning cannot see).
+            let toggled = (round + cell as u64) % 2 == 1;
+            let report = if toggled {
+                explore(&cfg, move || hunt_body_baseline_toggle(opseed))
+            } else {
+                explore(&cfg, move || hunt_body(opseed))
+            };
             explored += report.schedules;
             failures += report.failures.len();
             remaining -= chunk;
             round += 1;
             eprintln!(
                 "sched hunt: {explored} schedules explored, {failures} failures \
-                 (policy {policy:?})"
+                 (policy {policy:?}, baseline-toggle {toggled})"
             );
         }
     }

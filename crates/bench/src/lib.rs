@@ -17,6 +17,7 @@ use cbat_core::{BatSet, DelegationPolicy, SizeOnly};
 use chromatic::ChromaticSet;
 use fanout::{FanoutSet, SingleRootFanoutSet};
 use frbst::FrSet;
+use shard::{Partition, ShardMember, ShardedSet};
 use vcas::VcasSet;
 use workloads::{BenchSet, Capabilities, ContentionCounters};
 
@@ -316,6 +317,107 @@ fanout_adapter!(
     "VerlibBTree* (single-root)"
 );
 
+/// The sharded front-end over any forest member (`crates/shard`): point
+/// ops route to one shard, order statistics decompose across the forest,
+/// and every query runs on one shared-clock consistent cut. The adapter
+/// keeps its own approximate size counter so `select` arguments never
+/// pay a cross-shard size sum per op.
+pub struct ShardedAdapter<S: ShardMember> {
+    set: ShardedSet<S>,
+    approx_size: AtomicI64,
+    name: &'static str,
+}
+
+impl<S: ShardMember> ShardedAdapter<S> {
+    fn with_name(shards: usize, partition: Partition, name: &'static str) -> Self {
+        ShardedAdapter {
+            set: ShardedSet::new(shards, partition),
+            approx_size: AtomicI64::new(0),
+            name,
+        }
+    }
+
+    /// The wrapped forest (for stats and direct snapshot access).
+    pub fn inner(&self) -> &ShardedSet<S> {
+        &self.set
+    }
+}
+
+/// `BenchSet::name` wants a `&'static str`; the sweep only uses these
+/// shard counts, and any other count gets the bare name.
+macro_rules! shard_name {
+    ($shards:expr, $base:literal) => {
+        match $shards {
+            1 => concat!($base, "/1"),
+            2 => concat!($base, "/2"),
+            4 => concat!($base, "/4"),
+            8 => concat!($base, "/8"),
+            _ => $base,
+        }
+    };
+}
+
+/// The BAT forest front-end.
+pub type ShardedBatAdapter = ShardedAdapter<BatSet<u64, SizeOnly>>;
+
+impl ShardedBatAdapter {
+    pub fn new(shards: usize, partition: Partition) -> Self {
+        Self::with_name(shards, partition, shard_name!(shards, "ShardedBAT"))
+    }
+}
+
+/// The per-edge fanout forest front-end.
+pub type ShardedFanoutAdapter = ShardedAdapter<FanoutSet>;
+
+impl ShardedFanoutAdapter {
+    pub fn new(shards: usize, partition: Partition) -> Self {
+        Self::with_name(shards, partition, shard_name!(shards, "ShardedFanout"))
+    }
+}
+
+impl<S: ShardMember> BenchSet for ShardedAdapter<S> {
+    fn insert(&self, k: u64) -> bool {
+        let ok = self.set.insert(k);
+        if ok {
+            self.approx_size.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+    fn remove(&self, k: u64) -> bool {
+        let ok = self.set.remove(k);
+        if ok {
+            self.approx_size.fetch_sub(1, Ordering::Relaxed);
+        }
+        ok
+    }
+    fn contains(&self, k: u64) -> bool {
+        self.set.contains(k)
+    }
+    fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        self.set.range_count(lo, hi)
+    }
+    fn rank(&self, k: u64) -> u64 {
+        self.set.rank(k)
+    }
+    fn select(&self, i: u64) -> Option<u64> {
+        self.set.select(i)
+    }
+    fn size_hint(&self) -> u64 {
+        self.approx_size.load(Ordering::Relaxed).max(0) as u64
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn contention(&self) -> Option<ContentionCounters> {
+        let (attempts, aborts, retries) = self.set.contention();
+        Some(ContentionCounters {
+            attempts,
+            aborts,
+            retries,
+        })
+    }
+}
+
 /// Unaugmented chromatic tree — the augmentation-overhead ablation (A2).
 /// Only point operations are meaningful; ordered queries are not supported
 /// (that inability is BAT's raison d'être). The adapter advertises
@@ -391,6 +493,8 @@ pub fn full_lineup() -> Vec<Box<dyn BenchSet>> {
     all.push(Box::new(ChromaticAdapter::new()));
     all.push(Box::new(SingleRootFanoutAdapter::new()));
     all.push(Box::new(PerHolderFanoutAdapter::new()));
+    all.push(Box::new(ShardedBatAdapter::new(4, Partition::Hash)));
+    all.push(Box::new(ShardedFanoutAdapter::new(4, Partition::Hash)));
     all
 }
 
@@ -419,6 +523,12 @@ mod tests {
         exercise(&VcasAdapter::new());
         exercise(&FanoutAdapter::new());
         exercise(&SingleRootFanoutAdapter::new());
+        for p in [Partition::Hash, Partition::Range { max_key: 128 }] {
+            for shards in [1, 4] {
+                exercise(&ShardedBatAdapter::new(shards, p));
+                exercise(&ShardedFanoutAdapter::new(shards, p));
+            }
+        }
     }
 
     #[test]

@@ -25,11 +25,37 @@ pub const KEY_SPACE: u64 = 24;
 /// structural updates and version retirement. Ends with a version-tree
 /// self-consistency oracle.
 pub fn hunt_body(opseed: u64) {
+    hunt(opseed, false)
+}
+
+/// The pool-*bypass* variant (ISSUE 6 satellite): a fourth vthread flips
+/// [`crate::hotpath::set_baseline`] on and off **mid-race**, so some
+/// version/status objects are malloc-allocated and plain-freed while
+/// others flow through the EBR pool — the allocation path the pool's
+/// 0xDD reclamation poison cannot see is itself explored, interleaved at
+/// every shared-memory access with the same contended mix. The toggle is
+/// restored by a drop guard even when a schedule fails, so one failing
+/// schedule cannot leak baseline mode into the rest of a campaign.
+pub fn hunt_body_baseline_toggle(opseed: u64) {
+    hunt(opseed, true)
+}
+
+/// Restores the optimized hot path no matter how the schedule ends.
+struct RestoreHotPath;
+
+impl Drop for RestoreHotPath {
+    fn drop(&mut self) {
+        crate::hotpath::set_baseline(false);
+    }
+}
+
+fn hunt(opseed: u64, toggle_baseline: bool) {
+    let _restore = toggle_baseline.then_some(RestoreHotPath);
     let set = Arc::new(BatSet::<u64>::with_policy(DelegationPolicy::None));
     for k in (0..KEY_SPACE).step_by(3) {
         set.insert(k);
     }
-    let hs: Vec<_> = (0..3u64)
+    let mut hs: Vec<_> = (0..3u64)
         .map(|t| {
             let set = set.clone();
             sched::spawn(move || {
@@ -60,6 +86,18 @@ pub fn hunt_body(opseed: u64) {
             })
         })
         .collect();
+    if toggle_baseline {
+        let set = set.clone();
+        hs.push(sched::spawn(move || {
+            // Bypass window: updates racing these run with the pool
+            // disabled, then re-enabled — both transitions land at
+            // schedule-chosen points inside the workers' op streams.
+            crate::hotpath::set_baseline(true);
+            set.insert(opseed % KEY_SPACE);
+            set.remove(&(opseed.wrapping_mul(7) % KEY_SPACE));
+            crate::hotpath::set_baseline(false);
+        }));
+    }
     for h in hs {
         h.join();
     }

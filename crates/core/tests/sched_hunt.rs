@@ -17,7 +17,7 @@
 //! wraps the same body for out-of-CI hunting).
 #![cfg(feature = "sched-test")]
 
-use cbat_core::sched_hunt::hunt_body;
+use cbat_core::sched_hunt::{hunt_body, hunt_body_baseline_toggle};
 use sched::{explore, ExploreConfig, Policy};
 
 #[test]
@@ -49,6 +49,41 @@ fn bat_reclamation_hunt_under_explored_schedules() {
     }
     eprintln!(
         "sched hunt: {explored} schedules clean (poisoning + fences armed); \
+         scale with CBAT_SCHED_HUNT_SCHEDULES"
+    );
+}
+
+#[test]
+fn bat_baseline_toggle_hunt_under_explored_schedules() {
+    // Same mix, plus a fourth vthread flipping `hotpath::set_baseline`
+    // mid-race: schedules interleave pool-bypass (malloc/free) allocation
+    // with pooled allocation inside one contended campaign, so the path
+    // the pool's reclamation poison cannot see is explored too.
+    let budget: usize = std::env::var("CBAT_SCHED_HUNT_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let per_cell = (budget / 4).max(1);
+    let mut explored = 0usize;
+    for (opseed, policy, seed) in [
+        (0x0BA7_0003u64, Policy::RandomWalk, 0x4017_0005u64),
+        (0x0BA7_0003, Policy::Pct { depth: 3 }, 0x4017_0006),
+        (0x0BA7_0004, Policy::RandomWalk, 0x4017_0007),
+        (0x0BA7_0004, Policy::Pct { depth: 3 }, 0x4017_0008),
+    ] {
+        let cfg = ExploreConfig {
+            schedules: per_cell,
+            seed,
+            max_steps: 3_000_000,
+            policy,
+            stop_on_failure: true,
+        };
+        let report = explore(&cfg, move || hunt_body_baseline_toggle(opseed));
+        report.assert_clean("BAT baseline-toggle hunt");
+        explored += report.schedules;
+    }
+    eprintln!(
+        "baseline-toggle hunt: {explored} schedules clean; \
          scale with CBAT_SCHED_HUNT_SCHEDULES"
     );
 }

@@ -64,10 +64,11 @@
 
 use sched::atomic::{AtomicU64, Ordering};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use ebr::CachePadded;
 use llxscx::{llx, scx, Linked, Llx, RecordHeader, MAX_V};
-use vedge::{PubEdge, SnapRegistry, VersionRecord};
+use vedge::{PubEdge, SnapClock, VersionRecord};
 
 pub mod single_root;
 pub use single_root::{SingleRootFanoutSet, SingleRootSnapshot};
@@ -180,6 +181,38 @@ impl BNode {
         }
         heads
     }
+}
+
+// ---------------------------------------------------------------------------
+// Branchless in-node key search (the SIMD seeding step).
+//
+// Leaves and separator arrays hold at most 16 sorted keys, so a full
+// comparison *count* beats binary search: no data-dependent branches (each
+// `<=` compiles to a flag-setting compare plus an add on x86/aarch64), one
+// short loop the compiler unrolls, and the same shape a later `core::simd`
+// PR vectorizes directly (compare-mask + popcount). `bench_pr6` records the
+// single-thread `find` ns/op baseline this replaces binary search at.
+// ---------------------------------------------------------------------------
+
+/// Number of keys in sorted `xs` that are `<= k` — identical to
+/// `xs.partition_point(|x| *x <= k)`, computed branchlessly.
+#[inline]
+fn count_le(xs: &[u64], k: u64) -> usize {
+    xs.iter().fold(0usize, |n, &x| n + (x <= k) as usize)
+}
+
+/// Number of keys in sorted `xs` that are `< k` — identical to
+/// `xs.partition_point(|x| *x < k)`, computed branchlessly.
+#[inline]
+fn count_lt(xs: &[u64], k: u64) -> usize {
+    xs.iter().fold(0usize, |n, &x| n + (x < k) as usize)
+}
+
+/// Membership of `k` in sorted `xs`, via one branchless rank.
+#[inline]
+fn sorted_contains(xs: &[u64], k: u64) -> bool {
+    let i = count_lt(xs, k);
+    i < xs.len() && xs[i] == k
 }
 
 /// Reclamation callback for a (retired or never-published) node: version
@@ -350,11 +383,13 @@ pub struct FanoutSet {
     /// root publication (the tree has no parent node above it). Never
     /// finalized.
     root: PubEdge,
-    /// Snapshot clock (\[33\]): advanced only by snapshots, read by
-    /// stamping. Starts at 1 so 0 can mean "unstamped".
-    clock: AtomicU64,
-    /// Live-snapshot timestamps, bounding how far [`vedge::trim`] may cut.
-    snaps: SnapRegistry,
+    /// Snapshot clock + live-snapshot registry (\[33\]): the clock is
+    /// advanced only by snapshots and read by stamping; the registry
+    /// bounds how far [`vedge::trim`] may cut. Normally private to this
+    /// set, but shareable (`Arc`) across a forest of sets — every set
+    /// stamping from one clock makes a single registration a consistent
+    /// cut over all of them (the sharded front-end's snapshot mechanism).
+    sync: Arc<SnapClock>,
     /// Publication outcome counters (striped per thread).
     stats: PubStats,
     /// Granularity ablation switch: `true` freezes the holder node per
@@ -373,12 +408,18 @@ pub struct FanoutSnapshot<'t> {
     set: &'t FanoutSet,
     root: u64,
     ts: u64,
+    /// Whether this snapshot owns a registration on the set's clock
+    /// ([`FanoutSet::snapshot`]) or rides a registration the caller holds
+    /// ([`FanoutSet::snapshot_at`], the sharded cut).
+    registered: bool,
     _guard: ebr::Guard,
 }
 
 impl Drop for FanoutSnapshot<'_> {
     fn drop(&mut self) {
-        self.set.snaps.deregister();
+        if self.registered {
+            self.set.sync.deregister();
+        }
     }
 }
 
@@ -399,13 +440,26 @@ impl FanoutSet {
     }
 
     fn with_granularity(per_holder: bool) -> Self {
+        Self::with_clock(per_holder, Arc::new(SnapClock::new()))
+    }
+
+    /// Empty set stamping from a caller-supplied (possibly shared)
+    /// [`SnapClock`]. Sets sharing one clock form a snapshot-consistent
+    /// forest: one [`SnapClock::register`] timestamp is a simultaneous cut
+    /// across all of them, read per set via [`FanoutSet::snapshot_at`].
+    pub fn with_clock(per_holder: bool, sync: Arc<SnapClock>) -> Self {
         FanoutSet {
             root: PubEdge::new(BNode::leaf(&[])),
-            clock: AtomicU64::new(1),
-            snaps: SnapRegistry::new(),
+            sync,
             stats: PubStats::default(),
             per_holder,
         }
+    }
+
+    /// The snapshot clock this set stamps from (shared across a forest
+    /// when constructed via [`FanoutSet::with_clock`]).
+    pub fn snap_clock(&self) -> &Arc<SnapClock> {
+        &self.sync
     }
 
     /// Cumulative publication outcome counters for this set.
@@ -478,7 +532,7 @@ impl FanoutSet {
         let mut slot = 0usize;
         let mut edge = &self.root;
         let leaf = loop {
-            let (child, head) = edge.read(&self.clock);
+            let (child, head) = edge.read(self.sync.clock());
             path.push(PathEntry {
                 holder,
                 slot,
@@ -489,7 +543,7 @@ impl FanoutSet {
             match &node.body {
                 Body::Leaf { .. } => break node,
                 Body::Internal { len, seps, edges } => {
-                    let idx = seps[..*len as usize - 1].partition_point(|s| *s <= k);
+                    let idx = count_le(&seps[..*len as usize - 1], k);
                     holder = child;
                     slot = idx;
                     edge = &edges[idx];
@@ -643,22 +697,23 @@ impl FanoutSet {
         // later snapshot starts are always visible to it), retire the
         // replaced path, and trim the edge's version list down to what
         // live snapshots can still reach.
-        unsafe { VersionRecord::from_raw(pub_rec) }.stamp(&self.clock);
+        unsafe { VersionRecord::from_raw(pub_rec) }.stamp(self.sync.clock());
         unsafe {
             guard.retire_with(path[leaf_level].child as *mut u8, free_node);
             for &raw in replaced.iter() {
                 guard.retire_with(raw as *mut u8, free_node);
             }
         }
-        vedge::trim(guard, pub_rec, self.snaps.min_active(), &self.clock);
+        vedge::trim(guard, pub_rec, self.sync.min_active(), self.sync.clock());
         Some(true)
     }
 
     /// Compute the replacement leaf (or split pair) for an update.
     fn apply_leaf(leaf: &BNode, k: u64, insert: bool, fresh: &mut Vec<u64>) -> Updated {
         let keys = leaf.keys();
-        match keys.binary_search(&k) {
-            Ok(i) => {
+        let i = count_lt(keys, k);
+        match i < keys.len() && keys[i] == k {
+            true => {
                 if insert {
                     return Updated::Noop;
                 }
@@ -669,7 +724,7 @@ impl FanoutSet {
                 fresh.push(n);
                 Updated::One(n)
             }
-            Err(i) => {
+            false => {
                 if !insert {
                     return Updated::Noop;
                 }
@@ -740,12 +795,32 @@ impl FanoutSet {
     /// keeps every version it can read.
     pub fn snapshot(&self) -> FanoutSnapshot<'_> {
         let guard = ebr::pin();
-        let ts = self.snaps.register(&self.clock);
-        let root = self.root.read_at(&self.clock, ts);
+        let ts = self.sync.register();
+        let root = self.root.read_at(self.sync.clock(), ts);
         FanoutSnapshot {
             set: self,
             root,
             ts,
+            registered: true,
+            _guard: guard,
+        }
+    }
+
+    /// Read this set as of timestamp `ts` WITHOUT registering: the caller
+    /// must already hold a [`SnapClock::register`] registration at a
+    /// timestamp `<= ts` on this set's (shared) clock, and keep it live
+    /// for the snapshot's lifetime — that registration is what bounds
+    /// [`vedge::trim`] below `ts`. This is the per-shard read of a
+    /// sharded consistent cut: register once on the shared clock, then
+    /// `snapshot_at` every member of the forest at the one timestamp.
+    pub fn snapshot_at(&self, ts: u64) -> FanoutSnapshot<'_> {
+        let guard = ebr::pin();
+        let root = self.root.read_at(self.sync.clock(), ts);
+        FanoutSnapshot {
+            set: self,
+            root,
+            ts,
+            registered: false,
             _guard: guard,
         }
     }
@@ -755,14 +830,14 @@ impl FanoutSet {
     /// must be timestamped before a later snapshot can be taken).
     pub fn contains(&self, k: u64) -> bool {
         let _g = ebr::pin();
-        let mut raw = self.root.read(&self.clock).0;
+        let mut raw = self.root.read(self.sync.clock()).0;
         loop {
             let node = unsafe { BNode::from_raw(raw) };
             match &node.body {
-                Body::Leaf { .. } => return node.keys().binary_search(&k).is_ok(),
+                Body::Leaf { .. } => return sorted_contains(node.keys(), k),
                 Body::Internal { len, seps, edges } => {
-                    let idx = seps[..*len as usize - 1].partition_point(|s| *s <= k);
-                    raw = edges[idx].read(&self.clock).0;
+                    let idx = count_le(&seps[..*len as usize - 1], k);
+                    raw = edges[idx].read(self.sync.clock()).0;
                 }
             }
         }
@@ -843,10 +918,10 @@ impl FanoutSnapshot<'_> {
         loop {
             let node = unsafe { BNode::from_raw(raw) };
             match &node.body {
-                Body::Leaf { .. } => return node.keys().binary_search(&k).is_ok(),
+                Body::Leaf { .. } => return sorted_contains(node.keys(), k),
                 Body::Internal { len, seps, edges } => {
-                    let idx = seps[..*len as usize - 1].partition_point(|s| *s <= k);
-                    raw = edges[idx].read_at(&self.set.clock, self.ts);
+                    let idx = count_le(&seps[..*len as usize - 1], k);
+                    raw = edges[idx].read_at(self.set.sync.clock(), self.ts);
                 }
             }
         }
@@ -865,16 +940,18 @@ impl FanoutSnapshot<'_> {
         match &node.body {
             Body::Leaf { .. } => {
                 let keys = node.keys();
-                let a = keys.partition_point(|k| *k < lo);
-                let b = keys.partition_point(|k| *k <= hi);
+                let a = count_lt(keys, lo);
+                let b = count_le(keys, hi);
                 (b - a) as u64
             }
             Body::Internal { .. } => {
                 let (seps, edges) = node.fan();
-                let first = seps.partition_point(|s| *s <= lo);
-                let last = seps.partition_point(|s| *s <= hi);
+                let first = count_le(seps, lo);
+                let last = count_le(seps, hi);
                 (first..=last)
-                    .map(|i| self.count_rec(edges[i].read_at(&self.set.clock, self.ts), lo, hi))
+                    .map(|i| {
+                        self.count_rec(edges[i].read_at(self.set.sync.clock(), self.ts), lo, hi)
+                    })
                     .sum()
             }
         }
@@ -899,10 +976,10 @@ impl FanoutSnapshot<'_> {
             }
             Body::Internal { .. } => {
                 let (seps, edges) = node.fan();
-                let first = seps.partition_point(|s| *s <= lo);
-                let last = seps.partition_point(|s| *s <= hi);
+                let first = count_le(seps, lo);
+                let last = count_le(seps, hi);
                 for e in &edges[first..=last] {
-                    self.collect_rec(e.read_at(&self.set.clock, self.ts), lo, hi, out);
+                    self.collect_rec(e.read_at(self.set.sync.clock(), self.ts), lo, hi, out);
                 }
             }
         }
@@ -943,7 +1020,7 @@ mod sched_tests {
             s.insert(k);
         }
         let _g = ebr::pin();
-        let parent_raw = s.root.read(&s.clock).0;
+        let parent_raw = s.root.read(s.sync.clock()).0;
         let parent = unsafe { BNode::from_raw(parent_raw) };
         let (_, edges) = parent.fan();
         assert!(edges.len() >= 2, "setup must split the root");
@@ -1246,7 +1323,7 @@ mod tests {
                 s.insert(k);
             }
             let g = ebr::pin();
-            let parent_raw = s.root.read(&s.clock).0;
+            let parent_raw = s.root.read(s.sync.clock()).0;
             let parent = unsafe { BNode::from_raw(parent_raw) };
             let (_, edges) = parent.fan();
             assert!(edges.len() >= 2, "need sibling slots under one parent");
@@ -1304,7 +1381,7 @@ mod tests {
             let k_i = absent_key_in(if same_slot { slot_b } else { slot_a }, 1);
             assert!(s.insert(k_i));
             assert_eq!(
-                s.root.read(&s.clock).0,
+                s.root.read(s.sync.clock()).0,
                 parent_raw,
                 "interfering insert must not have replaced the parent"
             );

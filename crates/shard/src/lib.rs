@@ -1,0 +1,555 @@
+//! # shard — a partitioned forest front-end with cross-shard order
+//! statistics and consistent snapshots
+//!
+//! One BAT root (and the propagate traffic converging on it) is the
+//! scalability ceiling every bench trajectory so far has hit: aggregate
+//! throughput *falls* as threads rise because all writers ultimately
+//! serialize on one version pointer. [`ShardedSet`] removes that ceiling
+//! by partitioning the key space over N independent inner sets, while
+//! keeping the whole-set semantics the single tree offered:
+//!
+//! * **Point operations** route to one shard ([`Partition::shard_of`])
+//!   and proceed with zero cross-shard coordination.
+//! * **Order statistics decompose over shards.** `rank(k)` is the sum of
+//!   full-shard sizes wholly below `k` (O(1) each, from the root version's
+//!   size field) plus one in-shard rank; `select(i)` walks the shard size
+//!   prefix sums and descends exactly one shard; `range_count`/
+//!   `range_collect` fan out only to the shards the partition maps the
+//!   interval onto (all of them under hashing, a contiguous run under
+//!   range partitioning).
+//! * **Consistent cuts come from a shared clock.** All shards of one
+//!   forest stamp their version records from a single [`vedge::SnapClock`]
+//!   (Wei et al.'s timestamp trick \[33\], widened from one tree to a
+//!   forest): one registration yields one timestamp that is a consistent
+//!   cut across every timestamp-indexed shard. Members whose snapshots
+//!   read "now" instead of a timestamp (the BAT, whose snapshot is one
+//!   root-version-pointer read) are cut by **double-collect**: take all N
+//!   snapshots, re-read every shard's current root version token, and
+//!   retry until the two collections agree — pointer equality is ABA-free
+//!   because each snapshot's epoch guard pins its version, so the
+//!   validated vector was simultaneously current at some instant between
+//!   the collections, which is the cut's linearization point.
+//!
+//! ## Shard isolation
+//!
+//! Shards share no mutable cache lines. The shard array itself is
+//! [`CachePadded`]; each inner set brings its own striped stats
+//! ([`cbat_core::BatStats`] pads per-thread stripes) and its own epoch
+//! reclamation state (the process-global EBR keeps per-thread limbo bags
+//! and cache-padded epoch slots, so one shard's retirement traffic never
+//! dirties a line another shard reads). The only intentionally shared
+//! line is the forest's snapshot clock — advanced *only* by snapshot
+//! registration, never by updates.
+
+use std::sync::Arc;
+
+use cbat_core::{BatSet, SizeOnly, Snapshot};
+use ebr::CachePadded;
+use fanout::{FanoutSet, FanoutSnapshot};
+use vedge::SnapClock;
+
+/// How keys map to shards. Runtime-selectable per [`ShardedSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Fibonacci-hash the key, then multiply-shift onto `[0, n)`. Spreads
+    /// any key distribution (including adversarially hot contiguous
+    /// ranges) evenly, at the cost of fanning range queries out to every
+    /// shard.
+    Hash,
+    /// Split `[0, max_key)` into `n` contiguous spans of
+    /// `ceil(max_key / n)` keys; keys at or above `max_key` fall into the
+    /// last shard. Range queries touch only the shards their interval
+    /// overlaps, and cross-shard rank/select exploit whole-shard O(1)
+    /// sizes — but a drifting hot range sweeps load shard to shard.
+    Range { max_key: u64 },
+}
+
+impl Partition {
+    /// The shard (of `n`) that owns key `k`.
+    #[inline]
+    pub fn shard_of(&self, k: u64, n: usize) -> usize {
+        match *self {
+            Partition::Hash => {
+                let h = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (((h as u128) * (n as u128)) >> 64) as usize
+            }
+            Partition::Range { max_key } => {
+                let span = max_key.div_ceil(n as u64).max(1);
+                ((k / span) as usize).min(n - 1)
+            }
+        }
+    }
+
+    /// The shards that may hold keys in `[lo, hi]`.
+    #[inline]
+    pub fn shards_overlapping(
+        &self,
+        lo: u64,
+        hi: u64,
+        n: usize,
+    ) -> std::ops::RangeInclusive<usize> {
+        match *self {
+            Partition::Hash => 0..=n - 1,
+            Partition::Range { .. } => self.shard_of(lo, n)..=self.shard_of(hi, n),
+        }
+    }
+
+    /// Whether shard order equals key order (contiguous spans). When
+    /// true, per-shard results concatenate in shard order already sorted
+    /// and whole shards below a key contribute their size to its rank.
+    #[inline]
+    fn is_ordered(&self) -> bool {
+        matches!(self, Partition::Range { .. })
+    }
+}
+
+/// One member structure of a sharded forest. Implemented by the BAT
+/// ([`BatSet<u64>`]) and the per-edge fanout tree ([`FanoutSet`]).
+pub trait ShardMember: Send + Sync + Sized + 'static {
+    /// The member's snapshot type (borrowing the member where it must).
+    type Snap<'a>: MemberSnap
+    where
+        Self: 'a;
+
+    /// Whether [`ShardMember::snapshot_at`] returns *exactly* the state
+    /// at the requested timestamp (timestamp-indexed version chains, as
+    /// in the fanout tree). When `false` the forest cut double-collects
+    /// and validates with [`ShardMember::version_token`].
+    const TIMESTAMP_EXACT: bool;
+
+    /// Build one shard stamping from the forest's shared clock. Members
+    /// that do not use the versioned-edge clock may ignore it.
+    fn new_in_forest(sync: &Arc<SnapClock>) -> Self;
+
+    /// Insert; `true` iff newly added.
+    fn insert(&self, k: u64) -> bool;
+    /// Remove; `true` iff present.
+    fn remove(&self, k: u64) -> bool;
+    /// Linearizable membership.
+    fn contains(&self, k: u64) -> bool;
+    /// Current size (O(1) for the BAT, Θ(n) for unaugmented members).
+    fn len(&self) -> u64;
+    /// Whether the member holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot as of the forest cut `ts` the caller registered on the
+    /// shared clock ([`Self::TIMESTAMP_EXACT`] members), or of "now"
+    /// (members validated by double-collect instead).
+    fn snapshot_at(&self, ts: u64) -> Self::Snap<'_>;
+
+    /// Token identifying the member's currently published version, for
+    /// double-collect validation. Unused (0) when snapshots are exact.
+    fn version_token(&self) -> u64;
+
+    /// Cumulative publication-contention counters `(attempts, aborts,
+    /// retries)`, summed forest-wide by [`ShardedSet::contention`].
+    fn contention(&self) -> (u64, u64, u64);
+}
+
+/// The query surface a member snapshot offers the cross-shard
+/// decompositions. `rank(k)` counts keys ≤ `k`, as everywhere in this
+/// workspace.
+pub trait MemberSnap {
+    fn contains(&self, k: u64) -> bool;
+    fn len(&self) -> u64;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn rank(&self, k: u64) -> u64;
+    fn range_count(&self, lo: u64, hi: u64) -> u64;
+    fn range_collect(&self, lo: u64, hi: u64) -> Vec<u64>;
+    fn select(&self, i: u64) -> Option<u64>;
+    /// The snapshot's version token (see [`ShardMember::version_token`]).
+    fn token(&self) -> u64;
+}
+
+// --- BAT member: snapshots read "now", cut by double-collect -----------
+
+impl ShardMember for BatSet<u64, SizeOnly> {
+    type Snap<'a> = Snapshot<u64, (), SizeOnly>;
+
+    const TIMESTAMP_EXACT: bool = false;
+
+    fn new_in_forest(_sync: &Arc<SnapClock>) -> Self {
+        // The BAT's version tree is pinned by epoch guards, not clock
+        // registrations; the forest cut validates with version tokens.
+        BatSet::new()
+    }
+
+    fn insert(&self, k: u64) -> bool {
+        BatSet::insert(self, k)
+    }
+    fn remove(&self, k: u64) -> bool {
+        BatSet::remove(self, &k)
+    }
+    fn contains(&self, k: u64) -> bool {
+        BatSet::contains(self, &k)
+    }
+    fn len(&self) -> u64 {
+        BatSet::len(self)
+    }
+
+    fn snapshot_at(&self, _ts: u64) -> Self::Snap<'_> {
+        self.snapshot()
+    }
+
+    fn version_token(&self) -> u64 {
+        BatSet::version_token(self)
+    }
+
+    fn contention(&self) -> (u64, u64, u64) {
+        let s = self.stats().snapshot();
+        (s.cas_attempts, s.cas_failures, s.cas_failures)
+    }
+}
+
+impl MemberSnap for Snapshot<u64, (), SizeOnly> {
+    fn contains(&self, k: u64) -> bool {
+        Snapshot::contains(self, &k)
+    }
+    fn len(&self) -> u64 {
+        Snapshot::len(self)
+    }
+    fn rank(&self, k: u64) -> u64 {
+        Snapshot::rank(self, &k)
+    }
+    fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        Snapshot::range_count(self, &lo, &hi)
+    }
+    fn range_collect(&self, lo: u64, hi: u64) -> Vec<u64> {
+        Snapshot::range_collect(self, &lo, &hi)
+            .into_iter()
+            .map(|(k, ())| k)
+            .collect()
+    }
+    fn select(&self, i: u64) -> Option<u64> {
+        Snapshot::select(self, i).map(|(k, ())| k)
+    }
+    fn token(&self) -> u64 {
+        self.version_token()
+    }
+}
+
+// --- Fanout member: timestamp-exact snapshots, one registration IS the
+// cut --------------------------------------------------------------------
+
+impl ShardMember for FanoutSet {
+    type Snap<'a> = FanoutSnapshot<'a>;
+
+    const TIMESTAMP_EXACT: bool = true;
+
+    fn new_in_forest(sync: &Arc<SnapClock>) -> Self {
+        // Per-edge publication granularity (the PR 4 flagship variant).
+        FanoutSet::with_clock(false, sync.clone())
+    }
+
+    fn insert(&self, k: u64) -> bool {
+        FanoutSet::insert(self, k)
+    }
+    fn remove(&self, k: u64) -> bool {
+        FanoutSet::remove(self, k)
+    }
+    fn contains(&self, k: u64) -> bool {
+        FanoutSet::contains(self, k)
+    }
+    fn len(&self) -> u64 {
+        self.len_slow()
+    }
+
+    fn snapshot_at(&self, ts: u64) -> Self::Snap<'_> {
+        FanoutSet::snapshot_at(self, ts)
+    }
+
+    fn version_token(&self) -> u64 {
+        0
+    }
+
+    fn contention(&self) -> (u64, u64, u64) {
+        let s = self.pub_stats();
+        (s.attempts, s.aborts, s.retries)
+    }
+}
+
+impl MemberSnap for FanoutSnapshot<'_> {
+    fn contains(&self, k: u64) -> bool {
+        FanoutSnapshot::contains(self, k)
+    }
+    fn len(&self) -> u64 {
+        self.range_count(0, u64::MAX)
+    }
+    fn rank(&self, k: u64) -> u64 {
+        FanoutSnapshot::rank(self, k)
+    }
+    fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        FanoutSnapshot::range_count(self, lo, hi)
+    }
+    fn range_collect(&self, lo: u64, hi: u64) -> Vec<u64> {
+        FanoutSnapshot::range_collect(self, lo, hi)
+    }
+    fn select(&self, i: u64) -> Option<u64> {
+        // Unaugmented member: select by scan, as its solo adapter does.
+        self.range_collect(0, u64::MAX).into_iter().nth(i as usize)
+    }
+    fn token(&self) -> u64 {
+        0
+    }
+}
+
+/// The sharded front-end: `n` independent members behind one partition
+/// function and one snapshot clock. See the crate docs for the query
+/// decompositions and the cut protocol.
+pub struct ShardedSet<S: ShardMember> {
+    shards: Vec<CachePadded<S>>,
+    partition: Partition,
+    sync: Arc<SnapClock>,
+}
+
+/// The BAT forest (the front-end the benchmarks call `ShardedBAT`).
+pub type ShardedBatSet = ShardedSet<BatSet<u64, SizeOnly>>;
+/// The per-edge fanout forest (`ShardedFanout` in the benchmarks).
+pub type ShardedFanoutSet = ShardedSet<FanoutSet>;
+
+impl<S: ShardMember> ShardedSet<S> {
+    /// A forest of `n` shards under the given partition policy.
+    pub fn new(n: usize, partition: Partition) -> Self {
+        assert!(n >= 1, "a forest needs at least one shard");
+        let sync = Arc::new(SnapClock::new());
+        ShardedSet {
+            shards: (0..n)
+                .map(|_| CachePadded::new(S::new_in_forest(&sync)))
+                .collect(),
+            partition,
+            sync,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partition policy.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The forest's shared snapshot clock.
+    pub fn snap_clock(&self) -> &Arc<SnapClock> {
+        &self.sync
+    }
+
+    /// The shard that owns `k`.
+    #[inline]
+    fn shard_for(&self, k: u64) -> &S {
+        &self.shards[self.partition.shard_of(k, self.shards.len())]
+    }
+
+    /// Iterate the shards (stats aggregation, tests).
+    pub fn shards(&self) -> impl Iterator<Item = &S> {
+        self.shards.iter().map(|s| &**s)
+    }
+
+    /// Insert; `true` iff newly added. One shard, no coordination.
+    pub fn insert(&self, k: u64) -> bool {
+        self.shard_for(k).insert(k)
+    }
+
+    /// Remove; `true` iff present.
+    pub fn remove(&self, k: u64) -> bool {
+        self.shard_for(k).remove(k)
+    }
+
+    /// Linearizable membership (single-shard read).
+    pub fn contains(&self, k: u64) -> bool {
+        self.shard_for(k).contains(k)
+    }
+
+    /// Sum of shard sizes. Each addend is an atomic read of that shard's
+    /// current size, but the sum is *not* one instant's value — use
+    /// [`ShardedSet::snapshot`] for a consistent `len`.
+    pub fn len(&self) -> u64 {
+        self.shards().map(|s| s.len()).sum()
+    }
+
+    /// True if every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards().all(|s| s.is_empty())
+    }
+
+    /// Forest-wide publication-contention counters
+    /// `(attempts, aborts, retries)` summed over shards.
+    pub fn contention(&self) -> (u64, u64, u64) {
+        self.shards().fold((0, 0, 0), |(a, b, r), s| {
+            let (sa, sb, sr) = s.contention();
+            (a + sa, b + sb, r + sr)
+        })
+    }
+
+    /// One consistent cut across all shards.
+    ///
+    /// Registers once on the shared clock — for timestamp-exact members
+    /// the returned timestamp *is* the cut (every shard read at it), and
+    /// the registration bounds version-chain trimming below it for the
+    /// snapshot's lifetime. Current-root members are double-collected:
+    /// snapshots are retaken until no shard's root version changed across
+    /// the collection, so the vector was simultaneously current at some
+    /// instant — the cut's linearization point. The retry loop only
+    /// repeats while updates keep committing somewhere in the forest
+    /// during the (short) collection window.
+    pub fn snapshot(&self) -> ShardedSnapshot<'_, S> {
+        let ts = self.sync.register();
+        let snaps = loop {
+            let snaps: Vec<S::Snap<'_>> = self.shards().map(|s| s.snapshot_at(ts)).collect();
+            if S::TIMESTAMP_EXACT
+                || self
+                    .shards()
+                    .zip(&snaps)
+                    .all(|(s, snap)| s.version_token() == snap.token())
+            {
+                break snaps;
+            }
+        };
+        ShardedSnapshot { set: self, snaps }
+    }
+
+    /// Keys ≤ `k`, from one consistent cut.
+    pub fn rank(&self, k: u64) -> u64 {
+        self.snapshot().rank(k)
+    }
+
+    /// The `i`-th smallest key (0-indexed), from one consistent cut.
+    pub fn select(&self, i: u64) -> Option<u64> {
+        self.snapshot().select(i)
+    }
+
+    /// Keys in `[lo, hi]`, from one consistent cut.
+    pub fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        self.snapshot().range_count(lo, hi)
+    }
+
+    /// Materialize the sorted keys in `[lo, hi]` from one consistent cut.
+    pub fn range_collect(&self, lo: u64, hi: u64) -> Vec<u64> {
+        self.snapshot().range_collect(lo, hi)
+    }
+}
+
+/// A consistent cut of the whole forest: one member snapshot per shard,
+/// all current at the same instant (see [`ShardedSet::snapshot`]). Holds
+/// the clock registration that keeps every shard's versions readable;
+/// dropped, it releases the registration so trimming may proceed.
+pub struct ShardedSnapshot<'a, S: ShardMember> {
+    set: &'a ShardedSet<S>,
+    snaps: Vec<S::Snap<'a>>,
+}
+
+impl<S: ShardMember> Drop for ShardedSnapshot<'_, S> {
+    fn drop(&mut self) {
+        self.set.sync.deregister();
+    }
+}
+
+impl<S: ShardMember> ShardedSnapshot<'_, S> {
+    /// Total keys in the cut.
+    pub fn len(&self) -> u64 {
+        self.snaps.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if the cut holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.iter().all(|s| s.len() == 0)
+    }
+
+    /// Membership within the cut (single-shard lookup).
+    pub fn contains(&self, k: u64) -> bool {
+        let n = self.snaps.len();
+        self.snaps[self.set.partition.shard_of(k, n)].contains(k)
+    }
+
+    /// Keys ≤ `k`. Under range partitioning this is the paper-shaped
+    /// decomposition: whole shards below `k`'s shard contribute their
+    /// O(1) sizes and exactly one shard answers an in-shard rank; under
+    /// hashing every shard holds keys on both sides of `k`, so each
+    /// contributes an in-shard rank.
+    pub fn rank(&self, k: u64) -> u64 {
+        if self.set.partition.is_ordered() {
+            let s = self.set.partition.shard_of(k, self.snaps.len());
+            self.snaps[..s].iter().map(|x| x.len()).sum::<u64>() + self.snaps[s].rank(k)
+        } else {
+            self.snaps.iter().map(|x| x.rank(k)).sum()
+        }
+    }
+
+    /// The `i`-th smallest key (0-indexed). Ordered partitions walk the
+    /// shard size prefix sums and descend one shard; hashed partitions
+    /// binary-search the key domain for the smallest `k` with
+    /// `rank(k) ≥ i + 1` (≤ 64 cross-shard ranks, all on this one cut —
+    /// rank jumps exactly at present keys, so the infimum is the answer).
+    pub fn select(&self, i: u64) -> Option<u64> {
+        if self.set.partition.is_ordered() {
+            let mut i = i;
+            for snap in &self.snaps {
+                let n = snap.len();
+                if i < n {
+                    return snap.select(i);
+                }
+                i -= n;
+            }
+            None
+        } else {
+            if i >= self.len() {
+                return None;
+            }
+            let (mut lo, mut hi) = (0u64, u64::MAX);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if self.rank(mid) > i {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            Some(lo)
+        }
+    }
+
+    /// Keys in `[lo, hi]`, fanning out only to the shards the partition
+    /// maps the interval onto.
+    pub fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let n = self.snaps.len();
+        self.set
+            .partition
+            .shards_overlapping(lo, hi, n)
+            .map(|s| self.snaps[s].range_count(lo, hi))
+            .sum()
+    }
+
+    /// Sorted keys in `[lo, hi]`. Ordered partitions concatenate shard
+    /// results already in key order; hashed results are merged by sort.
+    pub fn range_collect(&self, lo: u64, hi: u64) -> Vec<u64> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let n = self.snaps.len();
+        let mut out: Vec<u64> = self
+            .set
+            .partition
+            .shards_overlapping(lo, hi, n)
+            .flat_map(|s| self.snaps[s].range_collect(lo, hi))
+            .collect();
+        if !self.set.partition.is_ordered() {
+            out.sort_unstable();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests;
+
+#[cfg(all(test, feature = "sched-test"))]
+mod sched_tests;

@@ -1,0 +1,96 @@
+//! Deterministic-schedule exploration of the cross-shard cut (ISSUE 6's
+//! snapshot-consistency satellite): a writer committing to two shards in
+//! program order races a reader's forest snapshot, and the cut must be
+//! all-or-nothing *per the shared clock* — if the later write is inside
+//! the cut, the earlier one must be too, and the cut's size/rank/range
+//! views must agree with each other. Explored for both member kinds: the
+//! fanout forest (where one shared-clock timestamp is the cut) and the
+//! BAT forest (where double-collect validation supplies it).
+
+use std::sync::Arc;
+
+use cbat_core::BatSet;
+use sched::{explore, ExploreConfig, Policy};
+
+use super::{Partition, ShardMember, ShardedSet};
+
+/// Per-cell schedule budget, scaled by `SHARD_SCHED_SCHEDULES` in CI.
+fn budget() -> usize {
+    std::env::var("SHARD_SCHED_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+/// One cut race: shard 0 holds `1`, shard 1 holds `17` as the base; the
+/// writer inserts `ka = 3` (shard 0) and then `kb = 19` (shard 1); the
+/// reader takes one forest snapshot somewhere inside that window.
+fn cut_race_body<S: ShardMember>() {
+    let set = Arc::new(ShardedSet::<S>::new(2, Partition::Range { max_key: 32 }));
+    set.insert(1);
+    set.insert(17);
+    let writer = {
+        let set = Arc::clone(&set);
+        sched::spawn(move || {
+            set.insert(3); // ka, shard 0: committed (and stamped) first
+            set.insert(19); // kb, shard 1: committed strictly after ka
+        })
+    };
+    let reader = {
+        let set = Arc::clone(&set);
+        sched::spawn(move || {
+            let snap = set.snapshot();
+            let a = snap.contains(3);
+            let b = snap.contains(19);
+            // The cut respects the writer's program order: clock stamps
+            // are monotone (fanout) / the validated vector was
+            // simultaneously current (BAT), so seeing the later kb
+            // without the earlier ka would be a torn cut.
+            assert!(
+                a || !b,
+                "torn cut: kb visible without the earlier ka (a={a}, b={b})"
+            );
+            let n = snap.len();
+            assert_eq!(n, 2 + a as u64 + b as u64, "len disagrees with contains");
+            assert_eq!(snap.rank(u64::MAX), n, "rank(MAX) != len");
+            assert_eq!(snap.range_count(0, u64::MAX), n, "range_count != len");
+            assert_eq!(snap.select(n - 1), snap.range_collect(0, u64::MAX).pop());
+        })
+    };
+    writer.join();
+    reader.join();
+    // Post-race: both writes landed; the forest agrees with itself.
+    let snap = set.snapshot();
+    assert_eq!(snap.len(), 4);
+    assert_eq!(snap.range_collect(0, u64::MAX), vec![1, 3, 17, 19]);
+}
+
+fn explore_cut<S: ShardMember>(what: &str, seed_base: u64) {
+    let per_cell = (budget() / 2).max(1);
+    for (policy, seed) in [
+        (Policy::RandomWalk, seed_base),
+        (Policy::Pct { depth: 3 }, seed_base ^ 0x1),
+    ] {
+        let report = explore(
+            &ExploreConfig {
+                schedules: per_cell,
+                seed,
+                max_steps: 3_000_000,
+                policy,
+                stop_on_failure: true,
+            },
+            cut_race_body::<S>,
+        );
+        report.assert_clean(&format!("{what} cut race under {policy:?}"));
+    }
+}
+
+#[test]
+fn fanout_forest_cut_is_all_or_nothing() {
+    explore_cut::<fanout::FanoutSet>("fanout forest", 0x5AAD_0001);
+}
+
+#[test]
+fn bat_forest_cut_is_all_or_nothing() {
+    explore_cut::<BatSet<u64>>("BAT forest", 0x5AAD_0003);
+}

@@ -382,6 +382,70 @@ impl Default for SnapRegistry {
     }
 }
 
+/// A snapshot clock bundled with its [`SnapRegistry`]: the unit of
+/// snapshot *consistency*. Structures that share one `SnapClock` (via
+/// `Arc`) stamp their version records from the same monotone counter, so
+/// a single registration yields one timestamp that is a consistent cut
+/// across **all** of them — the mechanism the sharded front-end uses to
+/// turn N per-shard snapshots into one linearizable forest snapshot
+/// (\[33\]'s timestamp trick, widened from one tree to a forest).
+///
+/// The clock starts at 1 so 0 keeps meaning "unstamped".
+pub struct SnapClock {
+    clock: CachePadded<AtomicU64>,
+    registry: SnapRegistry,
+}
+
+impl SnapClock {
+    pub fn new() -> Self {
+        SnapClock {
+            clock: CachePadded::new(AtomicU64::new(1)),
+            registry: SnapRegistry::new(),
+        }
+    }
+
+    /// The raw clock, for stamping ([`VersionRecord::stamp`]) and
+    /// timestamped reads ([`VersionedEdge::read_at`]).
+    #[inline]
+    pub fn clock(&self) -> &AtomicU64 {
+        &self.clock
+    }
+
+    /// The registry of live snapshot timestamps.
+    #[inline]
+    pub fn registry(&self) -> &SnapRegistry {
+        &self.registry
+    }
+
+    /// Announce a snapshot and return its timestamp (pre-advance clock
+    /// value). Pair with [`SnapClock::deregister`] on the same thread.
+    /// Every structure sharing this clock can be read at the returned
+    /// timestamp for one consistent cut.
+    #[inline]
+    pub fn register(&self) -> u64 {
+        self.registry.register(&self.clock)
+    }
+
+    /// Retire the calling thread's most recent registration.
+    #[inline]
+    pub fn deregister(&self) {
+        self.registry.deregister()
+    }
+
+    /// A timestamp no live snapshot reads below (see
+    /// [`SnapRegistry::min_active`]).
+    #[inline]
+    pub fn min_active(&self) -> u64 {
+        self.registry.min_active()
+    }
+}
+
+impl Default for SnapClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +507,34 @@ mod tests {
         assert_eq!(unsafe { VersionRecord::from_raw(edge.head()) }.prev(), 0);
         unsafe { dispose_chain(edge.head()) };
         ebr::flush();
+    }
+
+    #[test]
+    fn snap_clock_is_one_cut_across_structures() {
+        // Two independent edges stamping from ONE SnapClock: a single
+        // registration is a consistent cut over both.
+        let sc = SnapClock::new();
+        let e1 = VersionedEdge::new(1);
+        let e2 = VersionedEdge::new(2);
+        e1.read(sc.clock());
+        e2.read(sc.clock());
+        let ts = sc.register();
+        assert!(sc.min_active() <= ts);
+        // Post-cut writes on both edges stamp past `ts`…
+        for (e, child) in [(&e1, 10u64), (&e2, 20)] {
+            let h = VersionRecord::alloc(child, e.head());
+            e.cell().store(h, Ordering::SeqCst);
+            unsafe { VersionRecord::from_raw(h) }.stamp(sc.clock());
+        }
+        // …so the cut still reads the pre-write children on both.
+        assert_eq!(e1.read_at(sc.clock(), ts), 1);
+        assert_eq!(e2.read_at(sc.clock(), ts), 2);
+        sc.deregister();
+        assert_eq!(sc.min_active(), u64::MAX);
+        unsafe {
+            dispose_chain(e1.head());
+            dispose_chain(e2.head());
+        }
     }
 
     #[test]

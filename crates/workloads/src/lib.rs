@@ -175,6 +175,14 @@ pub enum KeyDist {
     /// constantly while per-edge granularity only conflicts on same-leaf
     /// collisions.
     SameSlice,
+    /// Zipfian offsets from a hot center that sweeps the key space once
+    /// per `period_ms` — the moving-hot-set scenario for partitioned
+    /// structures. The offsets are deliberately **not** scrambled: the
+    /// hot set is a contiguous key range that drifts across partition
+    /// boundaries, so a range-partitioned front-end cannot win by the
+    /// static luck of the hot keys all landing in one shard (nor lose by
+    /// them pinning one shard forever).
+    HotDrift { theta: f64, period_ms: u64 },
 }
 
 /// Width of the [`KeyDist::SameSlice`] hot slice (matches one leaf's key
@@ -382,7 +390,9 @@ pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
     let stop = AtomicBool::new(false);
     let sorted_counter = AtomicU64::new(0);
     let zipf = match cfg.dist {
-        KeyDist::Zipf(theta) => Some(Zipf::new(cfg.max_key, theta)),
+        KeyDist::Zipf(theta) | KeyDist::HotDrift { theta, .. } => {
+            Some(Zipf::new(cfg.max_key, theta))
+        }
         _ => None,
     };
 
@@ -460,6 +470,11 @@ fn worker(
     // SameSlice distribution: the one shared hot slice, mid key space.
     let slice_width = SAME_SLICE_WIDTH.min(cfg.max_key);
     let slice_base = (cfg.max_key / 2).min(cfg.max_key - slice_width);
+    // HotDrift distribution: the sweeping hot center, refreshed from the
+    // wall clock every 64 ops (an Instant read per op would dominate the
+    // cost of the op itself at these scales).
+    let drift_start = Instant::now();
+    let mut drift_center = 0u64;
     // Offered-load pacing (Fig. 9): ns between ops for this worker.
     let pace_ns = if cfg.offered_mops > 0.0 {
         (cfg.threads as f64 / cfg.offered_mops * 1e3) as u64
@@ -506,6 +521,14 @@ fn worker(
             }
             KeyDist::Disjoint => disjoint_base + rng.below(disjoint_span),
             KeyDist::SameSlice => slice_base + rng.below(slice_width),
+            KeyDist::HotDrift { period_ms, .. } => {
+                if op_idx & 63 == 0 {
+                    let period_ns = (period_ms.max(1) as u128) * 1_000_000;
+                    let elapsed = drift_start.elapsed().as_nanos();
+                    drift_center = ((elapsed % period_ns) * cfg.max_key as u128 / period_ns) as u64;
+                }
+                (drift_center + zipf.expect("zipf built").sample(&mut rng)) % cfg.max_key
+            }
         };
 
         // Open-ish loop pacing: wait for this op's scheduled slot. The
@@ -864,6 +887,51 @@ mod tests {
         // All inserted keys are distinct counter values => set size == inserts
         // that succeeded == total inserts (single thread, no wraparound).
         assert_eq!(s.size_hint(), r.ops[0]);
+    }
+
+    #[test]
+    fn hot_drift_sweeps_a_skewed_hot_set_across_the_key_space() {
+        let mut cfg = RunConfig::new(1, 100_000);
+        cfg.mix = OpMix::percent(100, 0, 0, 0);
+        cfg.prefill = false;
+
+        // Near-static center (period >> duration): plain unscrambled
+        // zipf, so the skew shows as repeated hot keys.
+        let s = OracleSet::new();
+        cfg.duration = Duration::from_millis(30);
+        cfg.dist = KeyDist::HotDrift {
+            theta: 0.99,
+            period_ms: 60_000,
+        };
+        let r = run(&s, &cfg);
+        assert!(r.ops[0] > 0);
+        let distinct = s.size_hint();
+        assert!(
+            distinct * 2 < r.ops[0],
+            "a near-static hot set must repeat keys ({distinct} distinct, {} inserts)",
+            r.ops[0]
+        );
+
+        // Fast drift (several sweeps per run): the hot set visits
+        // distant regions of the key space, not one static center.
+        let s = OracleSet::new();
+        cfg.duration = Duration::from_millis(60);
+        cfg.dist = KeyDist::HotDrift {
+            theta: 0.99,
+            period_ms: 20,
+        };
+        let r = run(&s, &cfg);
+        assert!(r.ops[0] > 0);
+        let keys = s.0.lock().unwrap();
+        let (lo, hi) = (
+            *keys.iter().next().unwrap(),
+            *keys.iter().next_back().unwrap(),
+        );
+        assert!(
+            hi - lo > cfg.max_key / 2,
+            "hot set never drifted: span {lo}..{hi} of {}",
+            cfg.max_key
+        );
     }
 
     #[test]
