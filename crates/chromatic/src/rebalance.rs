@@ -565,9 +565,7 @@ where
     /// Record a committed rebalancing step and retire the removed nodes.
     fn finish(&self, kind: RebalanceKind, removed: &[NodeRef<K, V, P>], guard: &Guard) -> bool {
         self.stats.record(kind);
-        self.stats
-            .scx_commits
-            .fetch_add(1, sched::atomic::Ordering::Relaxed);
+        self.stats.record_commit();
         for n in removed {
             unsafe { retire_node::<K, V, P>(guard, n.as_raw()) };
         }

@@ -53,13 +53,30 @@ pub const W_NEAR: RebalanceKind = RebalanceKind::WFar;
 
 impl TreeStats {
     pub(crate) fn record(&self, kind: RebalanceKind) {
+        // ordering: monotonic work counter; read only by the reporting
+        // sums below, which claim no cross-counter consistency.
         self.rebalance_steps[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one committed SCX.
+    #[inline]
+    pub(crate) fn record_commit(&self) {
+        // ordering: as for `record` — reporting-only monotone counter.
+        self.scx_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one failed/aborted SCX or LLX.
+    #[inline]
+    pub(crate) fn record_failure(&self) {
+        // ordering: as for `record` — reporting-only monotone counter.
+        self.scx_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total committed rebalancing steps.
     pub fn total_rebalances(&self) -> u64 {
         self.rebalance_steps
             .iter()
+            // ordering: reporting-only read; see `record`.
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
     }
@@ -254,7 +271,7 @@ where
                 snapshot: psnap,
             } = p.llx()
             else {
-                self.stats.scx_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_failure();
                 continue;
             };
             // Validate the search result is still current.
@@ -266,7 +283,7 @@ where
                 snapshot: _lsnap,
             } = l.llx()
             else {
-                self.stats.scx_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_failure();
                 continue;
             };
 
@@ -297,7 +314,7 @@ where
                 )
             };
             if ok {
-                self.stats.scx_commits.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_commit();
                 unsafe { retire_node::<K, V, P>(guard, l.as_raw()) };
                 let violation = (new_weight == 0 && p.weight() == 0) || new_weight >= 2;
                 if self.balanced && violation {
@@ -305,7 +322,7 @@ where
                 }
                 return UpdateOutcome { changed: true };
             }
-            self.stats.scx_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_failure();
             unsafe {
                 dispose_unpublished::<K, V, P>(internal);
                 dispose_unpublished::<K, V, P>(new_leaf as u64);
@@ -328,7 +345,7 @@ where
                 snapshot: gpsnap,
             } = gp.llx()
             else {
-                self.stats.scx_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_failure();
                 continue;
             };
             if gp.child_for(k, gpsnap) != p.as_raw() {
@@ -339,7 +356,7 @@ where
                 snapshot: psnap,
             } = p.llx()
             else {
-                self.stats.scx_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_failure();
                 continue;
             };
             if p.child_for(k, psnap) != l.as_raw() {
@@ -353,7 +370,7 @@ where
                 snapshot: ssnap,
             } = s.llx()
             else {
-                self.stats.scx_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_failure();
                 continue;
             };
             let Llx::Ok {
@@ -361,7 +378,7 @@ where
                 snapshot: _,
             } = l.llx()
             else {
-                self.stats.scx_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_failure();
                 continue;
             };
 
@@ -388,7 +405,7 @@ where
                 )
             };
             if ok {
-                self.stats.scx_commits.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_commit();
                 unsafe {
                     retire_node::<K, V, P>(guard, p.as_raw());
                     retire_node::<K, V, P>(guard, l.as_raw());
@@ -399,7 +416,7 @@ where
                 }
                 return UpdateOutcome { changed: true };
             }
-            self.stats.scx_failures.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_failure();
             unsafe { dispose_unpublished::<K, V, P>(s_copy) };
         }
     }

@@ -16,12 +16,14 @@
 //! memory-safe — pool blocks are layout-compatible with the global
 //! allocator in both modes — but the measurement would be meaningless).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use sched::atomic::{AtomicBool, Ordering};
 
 static BASELINE: AtomicBool = AtomicBool::new(false);
 
 /// Enable (`true`) or disable (`false`) baseline mode.
 pub fn set_baseline(on: bool) {
+    // ordering: independent mode flag, flipped only between benchmark
+    // phases (see module docs); nothing is published through it.
     BASELINE.store(on, Ordering::Relaxed);
     ebr::pool::set_enabled(!on);
 }
@@ -29,6 +31,8 @@ pub fn set_baseline(on: bool) {
 /// Whether baseline mode is active.
 #[inline]
 pub fn baseline() -> bool {
+    // ordering: see `set_baseline` — a stale read selects the other
+    // mode's (equally memory-safe) code path, never a torn state.
     BASELINE.load(Ordering::Relaxed)
 }
 

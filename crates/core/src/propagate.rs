@@ -15,9 +15,9 @@
 //! builds fresh vectors, reproducing the seed's per-update allocations for
 //! before/after measurement.
 
+use sched::atomic::Ordering;
 use std::cell::RefCell;
 use std::collections::HashSet;
-use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use chromatic::SentKey;
@@ -128,6 +128,9 @@ fn wait_for_delegatee(start: u64, timeout: Option<Duration>, h: &StatsHandle<'_>
     // Duration::MAX) degrades to "never time out", like the seed's
     // elapsed()-based check, instead of panicking.
     let deadline = timeout.and_then(|t| Instant::now().checked_add(t));
+    // SAFETY: `start` is a live PropStatus — see the pin-ordering argument
+    // in the doc comment above; the linking propagate's epoch pin outlives
+    // this wait.
     let mut d = unsafe { &*(start as *const PropStatus) };
     let mut spins = 0u32;
     loop {
@@ -136,6 +139,8 @@ fn wait_for_delegatee(start: u64, timeout: Option<Duration>, h: &StatsHandle<'_>
         }
         let next = d.delegatee.load(Ordering::Acquire);
         if next != 0 {
+            // SAFETY: same pin-ordering argument as `start` — a non-zero
+            // `delegatee` link is published before its target can retire.
             d = unsafe { &*(next as *const PropStatus) };
             continue;
         }
@@ -193,6 +198,9 @@ pub fn propagate<K, V, A>(
     'outer: loop {
         // Descend from the top of the stack until the next child on the
         // search path is already refreshed or is a leaf (Fig. 3 37–41).
+        // SAFETY: every raw on the stack came from `entry` or a child link
+        // read under `guard`'s pin; internal nodes are never freed while an
+        // epoch guard from before their unlinking is held.
         let mut next = unsafe {
             BatNode::<K, V, A>::from_raw(*scratch.stack.last().expect("stack never empties"))
         };
@@ -204,6 +212,8 @@ pub fn propagate<K, V, A>(
                 next.right_raw()
             };
             crate::refresh::fence_node_ptr(child_raw, next.as_raw(), "descent");
+            // SAFETY: `child_raw` was just read from a live parent under
+            // our epoch pin (fence above re-checks non-null in debug).
             let child = unsafe { BatNode::<K, V, A>::from_raw(child_raw) };
             if baseline {
                 // Faithful "before": one shared-stripe RMW per node
@@ -221,6 +231,8 @@ pub fn propagate<K, V, A>(
         if descended > 0 {
             h.add_nodes_visited(descended);
         }
+        // SAFETY: stack entries stay pinned by `guard` (see the descent
+        // comment above).
         let top = unsafe {
             BatNode::<K, V, A>::from_raw(scratch.stack.pop().expect("descent keeps one node"))
         };
@@ -253,6 +265,9 @@ pub fn propagate<K, V, A>(
                             // Delegate: publish the link, then wait
                             // (Fig. 13 lines 16–24).
                             h.incr_delegations();
+                            // SAFETY: `ps` is the PropStatus this call
+                            // allocated above; it is retired only at the
+                            // end of this function.
                             let status = unsafe { &*(ps as *const PropStatus) };
                             status.delegatee.store(r2.blocker, Ordering::Release);
                             match wait_for_delegatee(r2.blocker, timeout, &h) {
@@ -288,6 +303,8 @@ pub fn propagate<K, V, A>(
                         scratch.to_retire.push(r.replaced);
                         // Stability check (line 24): the children's
                         // *current* versions must equal what we read.
+                        // SAFETY: children of a live pinned node, read
+                        // under the same guard as the descent.
                         let l = unsafe { BatNode::<K, V, A>::from_raw(top.left_raw()) };
                         let rn = unsafe { BatNode::<K, V, A>::from_raw(top.right_raw()) };
                         if l.plugin.load() == r.vl && rn.plugin.load() == r.vr {
@@ -302,6 +319,8 @@ pub fn propagate<K, V, A>(
                     }
                     if r.blocker != 0 {
                         h.incr_delegations();
+                        // SAFETY: as in the Del arm — `ps` is ours and
+                        // outlives this loop.
                         let status = unsafe { &*(ps as *const PropStatus) };
                         status.delegatee.store(r.blocker, Ordering::Release);
                         match wait_for_delegatee(r.blocker, timeout, &h) {
@@ -325,18 +344,24 @@ pub fn propagate<K, V, A>(
 
     // Finish: release waiters, then reclaim (§6).
     if ps != 0 {
+        // SAFETY: `ps` is the PropStatus allocated by this call; not yet
+        // retired.
         unsafe { &*(ps as *const PropStatus) }
             .done
             .store(true, Ordering::Release);
-        // A PropStatus is safely retired at the end of the propagate that
-        // created it, even while still reachable (§6); its memory returns
-        // to the free-list pool after the grace period.
+        // SAFETY: a PropStatus is safely retired at the end of the
+        // propagate that created it, even while still reachable (§6);
+        // waiters that still hold it are pinned, so its memory returns to
+        // the free-list pool only after the grace period.
         unsafe { PropStatus::retire(guard, ps as *mut PropStatus) };
     }
     // Once the root is refreshed (or our delegatee finished, which implies
     // the same), every replaced version is unreachable from the root of
     // the version tree (§6): retire the toRetire list.
     for &v in &scratch.to_retire {
+        // SAFETY: `v` was the replaced (now unreachable) version of a
+        // successful refresh by *this* propagate — we are its unique
+        // retirer, and `guard` defers the free past all current pins.
         unsafe { retire_version::<K, V, A>(guard, v) };
     }
 

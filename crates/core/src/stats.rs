@@ -13,7 +13,7 @@
 //! routed to stripe 0, deliberately restoring that contention for
 //! before/after measurement.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sched::atomic::{AtomicU64, Ordering};
 
 use ebr::CachePadded;
 
@@ -49,16 +49,27 @@ macro_rules! incr_methods {
             $(#[$doc])*
             #[inline]
             pub fn $incr(&self) {
+                // ordering: monotonic counter bump on the caller's own
+                // stripe; readers only need eventual totals (`snapshot`).
                 self.stripe().$field.fetch_add(1, Ordering::Relaxed);
             }
 
             /// Batched variant of the matching increment.
             #[inline]
             pub fn $add(&self, n: u64) {
+                // ordering: as for the unbatched increment above.
                 self.stripe().$field.fetch_add(n, Ordering::Relaxed);
             }
         )*
     };
+}
+
+/// Relaxed read of one counter for summation.
+#[inline]
+fn read_counter(c: &AtomicU64) -> u64 {
+    // ordering: counters are monotonic and independent; a snapshot needs
+    // per-counter eventual totals, not a cross-counter consistent cut.
+    c.load(Ordering::Relaxed)
 }
 
 impl BatStats {
@@ -111,13 +122,13 @@ impl BatStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut snap = StatsSnapshot::default();
         for stripe in self.stripes.iter() {
-            snap.propagates += stripe.propagates.load(Ordering::Relaxed);
-            snap.nodes_visited += stripe.nodes_visited.load(Ordering::Relaxed);
-            snap.nil_fixes += stripe.nil_fixes.load(Ordering::Relaxed);
-            snap.cas_attempts += stripe.cas_attempts.load(Ordering::Relaxed);
-            snap.cas_failures += stripe.cas_failures.load(Ordering::Relaxed);
-            snap.delegations += stripe.delegations.load(Ordering::Relaxed);
-            snap.delegation_timeouts += stripe.delegation_timeouts.load(Ordering::Relaxed);
+            snap.propagates += read_counter(&stripe.propagates);
+            snap.nodes_visited += read_counter(&stripe.nodes_visited);
+            snap.nil_fixes += read_counter(&stripe.nil_fixes);
+            snap.cas_attempts += read_counter(&stripe.cas_attempts);
+            snap.cas_failures += read_counter(&stripe.cas_failures);
+            snap.delegations += read_counter(&stripe.delegations);
+            snap.delegation_timeouts += read_counter(&stripe.delegation_timeouts);
         }
         snap
     }
@@ -139,12 +150,15 @@ macro_rules! handle_incr_methods {
             /// See the like-named method on [`BatStats`].
             #[inline]
             pub fn $incr(&self) {
+                // ordering: monotonic stripe-local counter bump, as on
+                // [`BatStats`]; readers only sum eventual totals.
                 self.stripe.$field.fetch_add(1, Ordering::Relaxed);
             }
 
             /// Batched variant of the matching increment.
             #[inline]
             pub fn $add(&self, n: u64) {
+                // ordering: as for the unbatched increment above.
                 self.stripe.$field.fetch_add(n, Ordering::Relaxed);
             }
         )*

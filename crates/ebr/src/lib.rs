@@ -54,6 +54,8 @@ const QUIESCENT: u64 = u64::MAX;
 /// protocol guarantees no reader can still hold the pointer.
 struct Retired {
     ptr: *mut u8,
+    // SAFETY: callers of `retire_impl` guarantee `free(ptr)` is sound on
+    // any thread once the grace period has passed.
     free: unsafe fn(*mut u8),
 }
 
@@ -308,9 +310,13 @@ impl Guard {
     ///   (i.e. already unlinked from the shared structure).
     /// * `T` must be safe to drop from any thread.
     pub unsafe fn retire<T: Send>(&self, ptr: *mut T) {
+        // SAFETY: `free_box` runs after the grace period; `p` is the
+        // Box-allocated `T` passed below, unreachable by then.
         unsafe fn free_box<T>(p: *mut u8) {
+            // SAFETY: see above — exactly one call per retired pointer.
             drop(unsafe { Box::from_raw(p as *mut T) });
         }
+        // SAFETY: forwarded contract — see this function's `# Safety`.
         unsafe { self.retire_with(ptr as *mut u8, free_box::<T>) };
     }
 
@@ -335,7 +341,10 @@ impl Guard {
 /// # Safety
 /// As for [`Guard::retire`].
 pub unsafe fn retire_unpinned<T: Send>(ptr: *mut T) {
+    // SAFETY: `free_box` as in `Guard::retire` — one deferred call per
+    // retired pointer, after the grace period.
     unsafe fn free_box<T>(p: *mut u8) {
+        // SAFETY: see above.
         drop(unsafe { Box::from_raw(p as *mut T) });
     }
     retire_impl(Retired {
@@ -356,6 +365,8 @@ pub unsafe fn retire_unpinned_with(ptr: *mut u8, free: unsafe fn(*mut u8)) {
 
 fn retire_impl(item: Retired) {
     let g = global();
+    // ordering: monotonic statistics counter; nothing in the reclamation
+    // protocol reads it, only the `stats()` reporting snapshot.
     g.retired_count.fetch_add(1, Ordering::Relaxed);
     let epoch = g.epoch.load(Ordering::SeqCst);
     let should_collect = with_local(|local| {
@@ -417,6 +428,9 @@ pub fn collect() {
     for bag in &mut ready {
         freed += bag.items.len();
         for item in bag.items.drain(..) {
+            // SAFETY: the bag is ≥ 2 epochs old, so no thread pinned at
+            // retire time is still pinned; the retire contract makes the
+            // free sound on this thread.
             unsafe { (item.free)(item.ptr) };
         }
     }
@@ -446,10 +460,13 @@ pub fn collect() {
     }
     freed += orphan_items.len();
     for item in orphan_items {
+        // SAFETY: as for the local bags above — the orphan bag aged past
+        // the two-epoch grace period.
         unsafe { (item.free)(item.ptr) };
     }
 
     if freed > 0 {
+        // ordering: statistics counter, as for `retired_count`.
         g.freed_count.fetch_add(freed, Ordering::Relaxed);
     }
 }
@@ -475,6 +492,7 @@ pub fn stats() -> Stats {
     let g = global();
     Stats {
         epoch: g.epoch.load(Ordering::SeqCst),
+        // ordering: reporting-only reads of monotone counters.
         retired: g.retired_count.load(Ordering::Relaxed),
         freed: g.freed_count.load(Ordering::Relaxed),
     }

@@ -35,7 +35,8 @@
 
 use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, Ordering};
+
+use sched::atomic::{AtomicBool, Ordering};
 
 use crate::Guard;
 
@@ -68,9 +69,14 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 pub const POISON_BYTE: u8 = 0xDD;
 
 /// Fill a recycled block with [`POISON_BYTE`] (debug builds).
+///
+/// # Safety
+/// `p` must be valid for `size` writable bytes with no live object in
+/// them (the block is dead, parked on the free list).
 #[cfg(debug_assertions)]
 #[inline]
 unsafe fn poison_block(p: *mut u8, size: usize) {
+    // SAFETY: caller guarantees `p` covers `size` dead writable bytes.
     unsafe { std::ptr::write_bytes(p, POISON_BYTE, size) };
 }
 
@@ -79,6 +85,8 @@ unsafe fn poison_block(p: *mut u8, size: usize) {
 #[cfg(debug_assertions)]
 #[inline]
 fn check_poison(p: *mut u8, size: usize) {
+    // SAFETY: `p` came off this thread's free list, so it is a live
+    // allocation of exactly `size` bytes that only the pool may touch.
     let bytes = unsafe { std::slice::from_raw_parts(p, size) };
     if let Some(off) = bytes.iter().position(|&b| b != POISON_BYTE) {
         panic!(
@@ -95,11 +103,15 @@ fn check_poison(p: *mut u8, size: usize) {
 /// not flush existing free lists; it only routes new traffic to the global
 /// allocator. Used by the before/after benchmarks.
 pub fn set_enabled(on: bool) {
+    // ordering: independent mode flag; no data is published through it,
+    // and either mode handles blocks allocated by the other (module docs).
     ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// Whether pooling is currently enabled.
 pub fn enabled() -> bool {
+    // ordering: see `set_enabled` — a stale read only routes one
+    // alloc/free to the slower-but-sound global-allocator path.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -135,6 +147,9 @@ impl Drop for Pools {
             let layout =
                 Layout::from_size_align(class.size, class.align).expect("pooled layout is valid");
             for p in class.free {
+                // SAFETY: every free-listed block was allocated with this
+                // class's layout and holds no live object (destructors ran
+                // before `release_memory`).
                 unsafe { dealloc(p, layout) };
             }
         }
@@ -150,7 +165,11 @@ thread_local! {
     } };
 }
 
+/// # Safety
+/// `layout` must have non-zero size (zero-sized layouts never reach the
+/// allocator; see `alloc_pooled`).
 unsafe fn raw_alloc(layout: Layout) -> *mut u8 {
+    // SAFETY: caller guarantees a non-zero-size layout.
     let p = unsafe { alloc(layout) };
     if p.is_null() {
         handle_alloc_error(layout);
@@ -192,6 +211,8 @@ fn acquire_memory(layout: Layout) -> *mut u8 {
             return p;
         }
     }
+    // SAFETY: callers reach here only with non-zero-size layouts (the
+    // zero-size case short-circuits in `alloc_pooled`).
     unsafe { raw_alloc(layout) }
 }
 
@@ -221,6 +242,8 @@ fn release_memory(p: *mut u8, layout: Layout) {
                     None => return false,
                 };
                 if class.free.len() < MAX_PER_CLASS {
+                    // SAFETY: `p` is a dead block of exactly this layout,
+                    // surrendered by the caller.
                     #[cfg(debug_assertions)]
                     unsafe {
                         poison_block(p, layout.size())
@@ -237,6 +260,8 @@ fn release_memory(p: *mut u8, layout: Layout) {
             return;
         }
     }
+    // SAFETY: `p` was allocated with `layout` (by `acquire_memory` in
+    // either mode — both use the global allocator) and is dead.
     unsafe { dealloc(p, layout) };
 }
 
@@ -253,12 +278,20 @@ pub fn alloc_pooled<T>(value: T) -> *mut T {
         acquire_memory(layout)
     };
     let ptr = raw as *mut T;
+    // SAFETY: `raw` is fresh (or recycled-and-dead) memory of `T`'s exact
+    // layout, aligned and writable; `write` moves `value` in without
+    // reading the (possibly poisoned) old bytes.
     unsafe { ptr.write(value) };
     ptr
 }
 
+/// # Safety
+/// `p` must point to a live `T` from [`alloc_pooled`] that no other thread
+/// can still reach.
 unsafe fn drop_and_release<T>(p: *mut u8) {
     let layout = Layout::new::<T>();
+    // SAFETY: caller guarantees a live, unreachable `T`; after this the
+    // bytes are dead and safe to recycle.
     unsafe { std::ptr::drop_in_place(p as *mut T) };
     if layout.size() != 0 {
         release_memory(p, layout);
@@ -272,6 +305,8 @@ unsafe fn drop_and_release<T>(p: *mut u8) {
 /// # Safety
 /// As for [`Guard::retire`], and `ptr` must come from [`alloc_pooled`].
 pub unsafe fn retire_pooled<T: Send>(guard: &Guard, ptr: *mut T) {
+    // SAFETY: caller upholds the retire contract; `drop_and_release` runs
+    // after the grace period, when no pinned thread can still hold `ptr`.
     unsafe { guard.retire_with(ptr as *mut u8, drop_and_release::<T>) };
 }
 
@@ -282,6 +317,8 @@ pub unsafe fn retire_pooled<T: Send>(guard: &Guard, ptr: *mut T) {
 /// As for [`crate::retire_unpinned`], and `ptr` must come from
 /// [`alloc_pooled`].
 pub unsafe fn retire_pooled_unpinned<T: Send>(ptr: *mut T) {
+    // SAFETY: caller upholds the unpinned-retire contract (same shape as
+    // `retire_pooled`, minus the guard).
     unsafe { crate::retire_unpinned_with(ptr as *mut u8, drop_and_release::<T>) };
 }
 
@@ -293,6 +330,8 @@ pub unsafe fn retire_pooled_unpinned<T: Send>(ptr: *mut T) {
 /// `ptr` must come from [`alloc_pooled`], be unreachable by any other
 /// thread, and not be used afterwards.
 pub unsafe fn dispose_pooled<T>(ptr: *mut T) {
+    // SAFETY: caller guarantees the object was never published, so no
+    // grace period is needed before dropping and recycling it.
     unsafe { drop_and_release::<T>(ptr as *mut u8) };
 }
 

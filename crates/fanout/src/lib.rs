@@ -319,21 +319,26 @@ impl PubStats {
 
     #[inline]
     pub(crate) fn incr_attempt(&self) {
+        // ordering: monotonic stripe-local counter; only `snapshot` reads
+        // it, for reporting, with no cross-counter consistency claim.
         self.stripe().attempts.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn incr_commit(&self) {
+        // ordering: as for `incr_attempt`.
         self.stripe().commits.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn incr_abort(&self) {
+        // ordering: as for `incr_attempt`.
         self.stripe().aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn incr_retry(&self) {
+        // ordering: as for `incr_attempt`.
         self.stripe().retries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -341,8 +346,10 @@ impl PubStats {
     pub fn snapshot(&self) -> PubSnapshot {
         let mut s = PubSnapshot::default();
         for stripe in self.stripes.iter() {
+            // ordering: reporting-only sums; no cross-counter cut.
             s.attempts += stripe.attempts.load(Ordering::Relaxed);
             s.commits += stripe.commits.load(Ordering::Relaxed);
+            // ordering: as above.
             s.aborts += stripe.aborts.load(Ordering::Relaxed);
             s.retries += stripe.retries.load(Ordering::Relaxed);
         }

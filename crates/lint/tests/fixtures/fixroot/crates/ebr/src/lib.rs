@@ -1,0 +1,7 @@
+//! Out-of-line cfg(test) module fixture: `shadow.rs` next door is
+//! test-only and must be exempt from every deny rule.
+
+pub mod pool;
+
+#[cfg(test)]
+mod shadow;

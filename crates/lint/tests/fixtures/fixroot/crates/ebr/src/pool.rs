@@ -1,0 +1,6 @@
+//! Allowlist fixture: the bad import below is suppressed by
+//! `fixroot/lint/allowlist.tsv` with a written justification.
+
+use std::sync::atomic::AtomicBool; // suppressed by allowlist
+
+pub static FLAG: AtomicBool = AtomicBool::new(false);

@@ -1,0 +1,9 @@
+// Test-only module (declared `#[cfg(test)] mod shadow;` in lib.rs):
+// none of these seeded violations may fire.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn poke(c: &AtomicUsize) -> usize {
+    let _ = unsafe { core::ptr::read(c as *const AtomicUsize as *const usize) };
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,225 @@
+//! Rule-level tests: drive the lint library against a seeded fixture tree
+//! (`tests/fixtures/fixroot/`) and then against the real repository, so
+//! `cargo test -p lint` both proves each rule fires and enforces that the
+//! workspace itself stays clean (including the committed ratchet files).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lint::{Allowlist, Report};
+
+const FANOUT: &str = "crates/fanout/src/lib.rs";
+const POOL: &str = "crates/ebr/src/pool.rs";
+
+fn fixroot() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/fixroot")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn fixture_report() -> Report {
+    lint::run(&fixroot()).expect("fixture scan")
+}
+
+#[test]
+fn atomic_shim_fires_in_protocol_crate() {
+    let rep = fixture_report();
+    assert!(
+        rep.violations
+            .iter()
+            .any(|f| f.rule == "atomic-shim" && f.file == FANOUT && f.line == 4),
+        "expected an atomic-shim violation at {FANOUT}:4, got {:?}",
+        rep.violations
+    );
+}
+
+#[test]
+fn allowlist_suppresses_with_justification() {
+    let rep = fixture_report();
+    let (f, just) = rep
+        .allowed
+        .iter()
+        .find(|(f, _)| f.rule == "atomic-shim" && f.file == POOL)
+        .expect("pool.rs import should be allowlisted");
+    assert_eq!(f.line, 4);
+    assert!(
+        just.contains("layout probe"),
+        "justification carried: {just}"
+    );
+    assert!(
+        !rep.violations.iter().any(|f| f.file == POOL),
+        "allowlisted file must not also appear as a violation"
+    );
+}
+
+#[test]
+fn relaxed_without_annotation_fires_and_annotated_does_not() {
+    let rep = fixture_report();
+    let relaxed: Vec<_> = rep
+        .violations
+        .iter()
+        .filter(|f| f.rule == "relaxed-ordering")
+        .collect();
+    assert_eq!(
+        relaxed.len(),
+        1,
+        "exactly the unannotated site: {relaxed:?}"
+    );
+    assert_eq!((relaxed[0].file.as_str(), relaxed[0].line), (FANOUT, 12));
+}
+
+#[test]
+fn relaxed_inventory_counts_annotated_and_not() {
+    let rep = fixture_report();
+    assert_eq!(rep.relaxed_inventory.get(FANOUT), Some(&2));
+    assert_eq!(
+        rep.relaxed_inventory.len(),
+        1,
+        "{:?}",
+        rep.relaxed_inventory
+    );
+}
+
+#[test]
+fn safety_rule_buckets_debt_and_annotated_per_crate() {
+    let rep = fixture_report();
+    assert_eq!(rep.safety_debt.get("fanout"), Some(&1));
+    assert_eq!(
+        rep.safety_debt.get("util"),
+        Some(&1),
+        "SAFETY rule is workspace-wide"
+    );
+    assert_eq!(rep.safety_annotated.get("fanout"), Some(&1));
+    assert_eq!(
+        rep.safety_debt.get("ebr"),
+        None,
+        "test-tier unsafe is exempt"
+    );
+}
+
+#[test]
+fn guard_deref_warns_only_without_pin_evidence() {
+    let rep = fixture_report();
+    let warns: Vec<_> = rep
+        .warnings
+        .iter()
+        .filter(|f| f.rule == "guard-deref")
+        .collect();
+    assert_eq!(warns.len(), 1, "{warns:?}");
+    assert_eq!((warns[0].file.as_str(), warns[0].line), (FANOUT, 22));
+    assert!(
+        !rep.violations.iter().any(|f| f.rule == "guard-deref"),
+        "guard heuristic is warn-tier and must never fail the run"
+    );
+}
+
+#[test]
+fn cfg_test_regions_are_exempt_inline_and_out_of_line() {
+    let rep = fixture_report();
+    let hits = |file_frag: &str| {
+        rep.violations
+            .iter()
+            .chain(rep.warnings.iter())
+            .filter(|f| f.file.contains(file_frag))
+            .count()
+    };
+    assert_eq!(
+        hits("shadow.rs"),
+        0,
+        "out-of-line `#[cfg(test)] mod shadow;` file"
+    );
+    assert!(
+        !rep.violations
+            .iter()
+            .any(|f| f.file == FANOUT && f.line >= 31),
+        "inline `#[cfg(test)] mod tests` body"
+    );
+}
+
+#[test]
+fn non_protocol_crate_skips_shim_and_ordering_rules() {
+    let rep = fixture_report();
+    assert!(
+        !rep.violations
+            .iter()
+            .chain(rep.warnings.iter())
+            .any(|f| f.file.starts_with("crates/util/")),
+        "util is not a protocol crate"
+    );
+}
+
+#[test]
+fn ratchet_flags_drift_in_both_directions() {
+    let rep = fixture_report();
+    let committed = lint::parse_counts(&lint::render_counts("hdr", &rep.relaxed_inventory));
+    assert!(lint::diff_ratchet(
+        "relaxed-ratchet",
+        "x.tsv",
+        &rep.relaxed_inventory,
+        &committed
+    )
+    .is_empty());
+
+    let mut fewer = committed.clone();
+    fewer.insert(FANOUT.to_string(), 1);
+    let up = lint::diff_ratchet("relaxed-ratchet", "x.tsv", &rep.relaxed_inventory, &fewer);
+    assert_eq!(up.len(), 1);
+    assert!(up[0].message.contains("new sites"), "{}", up[0].message);
+
+    let mut more = committed;
+    more.insert(FANOUT.to_string(), 3);
+    let down = lint::diff_ratchet("relaxed-ratchet", "x.tsv", &rep.relaxed_inventory, &more);
+    assert_eq!(down.len(), 1);
+    assert!(down[0].message.contains("--bless"), "{}", down[0].message);
+}
+
+#[test]
+fn allowlist_rejects_missing_or_short_justification() {
+    assert!(Allowlist::parse("atomic-shim\tx.rs\ttoo short").is_err());
+    assert!(Allowlist::parse("atomic-shim\tx.rs").is_err());
+    assert!(Allowlist::parse("# comment only\n")
+        .unwrap()
+        .entries
+        .is_empty());
+}
+
+#[test]
+fn real_repo_is_clean_and_ratchets_match() {
+    let root = repo_root();
+    let rep = lint::run(&root).expect("workspace scan");
+    assert!(
+        rep.violations.is_empty(),
+        "workspace must lint clean: {:#?}",
+        rep.violations
+    );
+
+    let committed_inv = lint::parse_counts(
+        &fs::read_to_string(root.join(lint::RELAXED_INVENTORY_PATH)).expect("inventory file"),
+    );
+    let committed_debt = lint::parse_counts(
+        &fs::read_to_string(root.join(lint::SAFETY_DEBT_PATH)).expect("debt file"),
+    );
+    let drift: Vec<_> = lint::diff_ratchet(
+        "relaxed-ratchet",
+        lint::RELAXED_INVENTORY_PATH,
+        &rep.relaxed_inventory,
+        &committed_inv,
+    )
+    .into_iter()
+    .chain(lint::diff_ratchet(
+        "safety-ratchet",
+        lint::SAFETY_DEBT_PATH,
+        &rep.safety_debt,
+        &committed_debt,
+    ))
+    .collect();
+    assert!(
+        drift.is_empty(),
+        "ratchet drift — rerun `cargo run -p lint -- --bless`: {drift:#?}"
+    );
+}

@@ -319,14 +319,22 @@ pub unsafe fn scx(
     let seq = word_seq(cur) + 1;
     d.status
         .store(word(seq, false, STATE_IN_PROGRESS), Ordering::SeqCst);
+    // ordering: the operation-field stores publish through the SeqCst
+    // `new` store below (and helpers only act after re-validating `status`
+    // twice around their snapshot — see `help`); the fields themselves
+    // need no individual ordering.
     d.num_v.store(v.len() as u64, Ordering::Relaxed);
     for (i, linked) in v.iter().enumerate() {
+        // ordering: as for `num_v` above.
         d.v[i].store(linked.header as u64, Ordering::Relaxed);
         d.infos[i].store(linked.info, Ordering::Relaxed);
     }
+    // ordering: as for `num_v` above — published by the SeqCst store.
     d.finalize_lo.store(finalize_mask as u64, Ordering::Relaxed);
+    // ordering: as for `num_v` above.
     d.finalize_hi
         .store((finalize_mask >> 64) as u64, Ordering::Relaxed);
+    // ordering: as for `num_v` above.
     d.fld.store(fld as u64, Ordering::Relaxed);
     d.old.store(old, Ordering::Relaxed);
     d.new.store(new, Ordering::SeqCst);
@@ -350,6 +358,10 @@ fn help(tid: usize, seq: u64) {
     if word_seq(w) != seq {
         return;
     }
+    // ordering: the snapshot loads here and below are bracketed by two
+    // SeqCst `status` reads; if the seq moved, the copies are discarded,
+    // and if it did not, the SeqCst publish in `scx` ordered the fields
+    // before the tag could be observed. Individual loads can be relaxed.
     let num_v = (d.num_v.load(Ordering::Relaxed) as usize).min(MAX_V);
     // `MaybeUninit` keeps the copy proportional to `num_v`: with MAX_V
     // sized for worst-case per-edge cascades, zero-initializing the full
@@ -357,27 +369,34 @@ fn help(tid: usize, seq: u64) {
     let mut recs = [std::mem::MaybeUninit::<*const RecordHeader>::uninit(); MAX_V];
     let mut exps = [std::mem::MaybeUninit::<u64>::uninit(); MAX_V];
     for i in 0..num_v {
+        // ordering: validated snapshot copy; see the comment on `num_v`.
         recs[i].write(d.v[i].load(Ordering::Relaxed) as *const RecordHeader);
         exps[i].write(d.infos[i].load(Ordering::Relaxed));
     }
+    // ordering: validated snapshot copies; see the comment on `num_v`.
     let fmask = d.finalize_lo.load(Ordering::Relaxed) as u128
         | (d.finalize_hi.load(Ordering::Relaxed) as u128) << 64;
+    // ordering: validated snapshot copies; see the comment on `num_v`.
     let fld = d.fld.load(Ordering::Relaxed) as *const AtomicU64;
     let old = d.old.load(Ordering::Relaxed);
     let new = d.new.load(Ordering::SeqCst);
     if word_seq(d.status.load(Ordering::SeqCst)) != seq {
         return;
     }
-    // Validated: the operation fields belong to (tid, seq) and the first
-    // `num_v` entries of the copies are initialized.
+    // SAFETY: validated — the operation fields belong to (tid, seq), so
+    // the first `num_v` entries of both copies were written by the loop
+    // above, and `MaybeUninit<T>` is layout-identical to `T`.
     let recs: &[*const RecordHeader] =
         unsafe { std::slice::from_raw_parts(recs.as_ptr().cast(), num_v) };
+    // SAFETY: as for `recs` directly above.
     let exps: &[u64] = unsafe { std::slice::from_raw_parts(exps.as_ptr().cast(), num_v) };
 
     let tag = pack_tag(tid, seq);
 
     // Freeze phase: install our tag in every record of V, in order.
     'freeze: for i in 0..num_v {
+        // SAFETY: the records of a validated operation are kept live by
+        // the owner's epoch pin for the whole help (scx's contract).
         let header = unsafe { &*recs[i] };
         if header
             .info
@@ -429,12 +448,15 @@ fn help(tid: usize, seq: u64) {
     // Mark (finalize) the records in R. Idempotent & monotone.
     for (i, rec) in recs.iter().enumerate() {
         if fmask & (1 << i) != 0 {
+            // SAFETY: live record of a validated op, as in the freeze loop.
             unsafe { &**rec }.marked.store(true, Ordering::Release);
         }
     }
 
     // The update itself. At most one such CAS can succeed (field values
     // never recur); helpers' failures are harmless.
+    // SAFETY: `fld` points into a record of the validated op (scx's
+    // contract), live under the owner's pin.
     unsafe { &*fld }
         .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
         .ok();

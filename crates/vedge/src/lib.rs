@@ -76,6 +76,7 @@ impl VersionRecord {
     /// owned by the caller).
     #[inline]
     pub unsafe fn from_raw<'g>(raw: u64) -> &'g VersionRecord {
+        // SAFETY: caller guarantees `raw` is a live pool allocation.
         unsafe { &*(raw as *const VersionRecord) }
     }
 
@@ -143,6 +144,10 @@ impl VersionedEdge {
     #[inline]
     pub fn read(&self, clock: &AtomicU64) -> (u64, u64) {
         let head = self.head();
+        // SAFETY: the head of a reachable edge is live while the caller is
+        // pinned.
+        // guard: callers hold an epoch pin for the whole read — the edge
+        // is only reachable through a structure traversal that pins first.
         let v = unsafe { VersionRecord::from_raw(head) };
         v.stamp(clock);
         (v.child(), head)
@@ -154,6 +159,10 @@ impl VersionedEdge {
     pub fn read_at(&self, clock: &AtomicU64, ts: u64) -> u64 {
         let mut raw = self.head();
         loop {
+            // SAFETY: chain records older than our snapshot are kept alive
+            // by the registry floor (`trim` never cuts above `min_active`)
+            // plus the caller's pin.
+            // guard: callers hold an epoch pin and a registered snapshot.
             let v = unsafe { VersionRecord::from_raw(raw) };
             let vt = v.stamp(clock);
             let prev = v.prev();
@@ -240,7 +249,11 @@ impl std::ops::Deref for PubEdge {
 pub unsafe fn dispose_chain(head: u64) {
     let mut raw = head;
     while raw != 0 {
+        // SAFETY: the chain is unreachable and owned by us (fn contract),
+        // so each record is live until we dispose it right below.
         let next = unsafe { VersionRecord::from_raw(raw) }.prev();
+        // SAFETY: `raw` came from `alloc_pooled` and nobody else can
+        // reach it (fn contract).
         unsafe { ebr::pool::dispose_pooled(raw as *mut VersionRecord) };
         raw = next;
     }
@@ -257,6 +270,8 @@ pub unsafe fn dispose_chain(head: u64) {
 pub fn trim(guard: &Guard, head: u64, min_active: u64, clock: &AtomicU64) {
     let mut cur = head;
     loop {
+        // SAFETY: records on the walk from a reachable head are live under
+        // `guard`'s pin; claimed suffixes are retired, not freed, below.
         let v = unsafe { VersionRecord::from_raw(cur) };
         let vt = v.stamp(clock);
         let prev = v.prev.load(Ordering::SeqCst);
@@ -272,11 +287,17 @@ pub fn trim(guard: &Guard, head: u64, min_active: u64, clock: &AtomicU64) {
             {
                 let mut p = prev;
                 while p != 0 {
+                    // SAFETY: we claimed this suffix with the CAS above;
+                    // the records stay live until retired below and the
+                    // grace period passes.
                     let rec = unsafe { VersionRecord::from_raw(p) };
                     // Claim each link before retiring its record: a
                     // concurrent trimmer that cut deeper inside this
                     // suffix owns everything behind its own cut.
                     let next = rec.prev.swap(0, Ordering::SeqCst);
+                    // SAFETY: `p` is pool-allocated and exclusively ours
+                    // (claimed by the swap/CAS); retiring defers the free
+                    // past every current pin.
                     unsafe { ebr::pool::retire_pooled(guard, p as *mut VersionRecord) };
                     p = next;
                 }
@@ -337,6 +358,8 @@ impl SnapRegistry {
         let slot = &self.slots[tid];
         self.high.fetch_max(tid as u64 + 1, Ordering::SeqCst);
         self.active.fetch_add(1, Ordering::SeqCst);
+        // ordering: `depth` is written only by the owning thread (snapshot
+        // guards are `!Send`), so this is a same-thread read.
         let depth = slot.depth.load(Ordering::Relaxed);
         if depth == 0 {
             slot.ts
@@ -349,6 +372,7 @@ impl SnapRegistry {
     /// Retire the calling thread's most recent registration.
     pub fn deregister(&self) {
         let slot = &self.slots[ebr::thread_id()];
+        // ordering: same-thread read; see `register`.
         let depth = slot.depth.load(Ordering::Relaxed);
         debug_assert!(depth > 0, "deregister without register");
         if depth == 1 {

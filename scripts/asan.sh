@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# AddressSanitizer pass over the reclamation-heavy crates, aimed squarely
+# at the unreproduced BAT-baseline heap corruption (ROADMAP forensics:
+# SIGSEGV at offset 0x30 in `read_version` → `VersionSlot::load`, and a
+# `malloc_consolidate` abort on an unaligned fastbin chunk — classic
+# allocator-metadata corruption in the pool-*bypass* raw malloc/free
+# path). ASan instruments exactly what EBR pool poisoning cannot see:
+# every raw allocation gets redzones and a reuse quarantine, so a
+# use-after-retire or overflow reports at the faulting access instead of
+# crashing minutes later inside glibc.
+#
+# `-Zsanitizer=address` is unstable, so this needs a nightly toolchain;
+# the script skips (exit 0) when one is not installed, so it can sit in
+# pipelines on stable-only hosts. An explicit `--target` keeps build
+# scripts and proc macros uninstrumented.
+#
+# Usage: scripts/asan.sh            # tests + ASAN_HUNT_ITERS hunt rounds
+#        ASAN_HUNT_ITERS=0 scripts/asan.sh   # tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET=x86_64-unknown-linux-gnu
+HUNT_ITERS="${ASAN_HUNT_ITERS:-1}"
+
+if ! cargo +nightly --version >/dev/null 2>&1; then
+    echo "asan: no nightly toolchain — skipping (rustup toolchain install nightly)"
+    exit 0
+fi
+
+export RUSTFLAGS="-Zsanitizer=address"
+# Leak checking stays off: LLX/SCX descriptors are immortal by design and
+# the EBR thread pools are leaked at process exit on purpose.
+export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
+
+# `--tests` (not the default target set): rustdoc does not link the ASan
+# runtime, so doctests fail with undefined `__asan_*` symbols. Unit +
+# integration tests carry all the coverage that matters here.
+echo "== asan: ebr (pool reuse, poisoning, use-after-retire contracts) =="
+timeout 900 cargo +nightly test -q -p ebr --tests --target "$TARGET"
+
+echo "== asan: cbat-core (BAT hot paths, version reclamation) =="
+timeout 1200 cargo +nightly test -q -p cbat-core --tests --target "$TARGET"
+
+if [ "$HUNT_ITERS" -gt 0 ]; then
+    # Wall-clock rounds of the exact workload that produced the original
+    # crashes: bench_pr4 section 1's baseline half on the pool-bypassing
+    # hot path. Release opt so the interleavings resemble the original
+    # runs; each iteration is ~36 runs of 600 ms (plus ASan overhead).
+    echo "== asan: bat_baseline_hunt wall-clock mode, $HUNT_ITERS iteration(s) =="
+    timeout 3600 cargo +nightly run --release -p bench \
+        --example bat_baseline_hunt --target "$TARGET" -- "$HUNT_ITERS"
+fi
+
+echo "asan: clean"

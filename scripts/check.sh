@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints (warnings are errors), build, and tests —
-# the same sequence CI should run.
+# Repo gate: formatting, lints (warnings are errors), the concurrency
+# discipline lint, build, and tests — the same sequence CI should run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Concurrency discipline: sched::atomic shim rule, `// ordering:` on
+# every Relaxed site, SAFETY coverage ratchets, guard-deref heuristic.
+# Writes the machine-readable violation inventory for the CI artifact.
+cargo run -q -p lint -- --json lint-report.json
 cargo build --release
 cargo test -q
