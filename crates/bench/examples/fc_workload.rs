@@ -1,0 +1,53 @@
+//! Wall-clock stress workload for the flat-combining group-commit mode
+//! (PR 9), sized for the ASan job: mixed runs on [`bench::BatFcAdapter`]
+//! across batch caps and thread counts, plus the combining forest
+//! ([`bench::ShardedFcBatAdapter`]). The interesting memory traffic is
+//! the pooled `OpCell` lifecycle (waiter-disposed after the combiner's
+//! status release) and publication-ring slot reuse across wrap-arounds —
+//! paths the unit tests only drive briefly and redzones see exactly.
+//!
+//! Usage: `cargo run --release -p bench --example fc_workload -- [iters]`
+use std::time::Duration;
+
+use bench::{BatFcAdapter, ShardedFcBatAdapter};
+use shard::Partition;
+use workloads::{OpMix, QueryKind, RunConfig};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("<iterations>"))
+        .unwrap_or(1);
+    let mixes = [[50u32, 50, 0, 0], [25, 25, 40, 10]];
+    for it in 0..iters {
+        for (mi, mix) in mixes.iter().enumerate() {
+            for tt in [1usize, 2, 4, 8] {
+                for cap in [1usize, 8, 32] {
+                    let mut c = RunConfig::new(tt, 1 << 15);
+                    c.mix = OpMix::percent(mix[0], mix[1], mix[2], mix[3]);
+                    c.query = QueryKind::RangeCount { size: 100 };
+                    c.duration = Duration::from_millis(200);
+                    c.seed = 0x00FC_9C42 ^ (cap as u64) << 32 ^ tt as u64;
+                    let s = BatFcAdapter::new(cap);
+                    let r = workloads::run(&s, &c);
+                    assert!(r.total_ops > 0, "BAT-FC/{cap} did no work");
+                    ebr::flush();
+                }
+                // The combining forest: per-shard rings under the PR 6
+                // front-end, cut consistency exercised by the rq share.
+                let mut c = RunConfig::new(tt, 1 << 15);
+                c.mix = OpMix::percent(mix[0], mix[1], mix[2], mix[3]);
+                c.query = QueryKind::RangeCount { size: 100 };
+                c.duration = Duration::from_millis(200);
+                c.seed = 0x00FC_5D42 ^ tt as u64;
+                let s = ShardedFcBatAdapter::new(4, Partition::Hash);
+                let r = workloads::run(&s, &c);
+                assert!(r.total_ops > 0, "ShardedBAT-FC did no work");
+                ebr::flush();
+                eprintln!("iter {it} mix {mi} TT={tt} ok");
+            }
+        }
+        eprintln!("== iter {it} done ==");
+    }
+    eprintln!("ALL OK");
+}

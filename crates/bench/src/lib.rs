@@ -104,6 +104,81 @@ impl BenchSet for BatAdapter {
     }
 }
 
+/// `BenchSet::name` wants a `&'static str`; the sweeps only use these
+/// batch caps, and any other cap gets the bare name.
+macro_rules! fc_name {
+    ($cap:expr) => {
+        match $cap {
+            1 => "BAT-FC/1",
+            2 => "BAT-FC/2",
+            4 => "BAT-FC/4",
+            8 => "BAT-FC/8",
+            16 => "BAT-FC/16",
+            32 => "BAT-FC/32",
+            64 => "BAT-FC/64",
+            _ => "BAT-FC",
+        }
+    };
+}
+
+/// BAT in flat-combining group-commit mode (PR 9): writers enqueue into
+/// the publication ring and one combiner per batch runs a single
+/// root-to-leaf propagate covering every drained op.
+pub struct BatFcAdapter {
+    set: BatSet<u64, SizeOnly>,
+    name: &'static str,
+}
+
+impl BatFcAdapter {
+    /// Combining BAT with the given max ops per combined batch.
+    pub fn new(batch_cap: usize) -> Self {
+        BatFcAdapter {
+            set: BatSet::with_combining(batch_cap),
+            name: fc_name!(batch_cap),
+        }
+    }
+
+    /// The wrapped set (for combining stats).
+    pub fn inner(&self) -> &BatSet<u64, SizeOnly> {
+        &self.set
+    }
+}
+
+impl BenchSet for BatFcAdapter {
+    fn insert(&self, k: u64) -> bool {
+        self.set.insert(k)
+    }
+    fn remove(&self, k: u64) -> bool {
+        self.set.remove(&k)
+    }
+    fn contains(&self, k: u64) -> bool {
+        self.set.contains(&k)
+    }
+    fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        self.set.range_count(&lo, &hi)
+    }
+    fn rank(&self, k: u64) -> u64 {
+        self.set.rank(&k)
+    }
+    fn select(&self, i: u64) -> Option<u64> {
+        self.set.select(i)
+    }
+    fn size_hint(&self) -> u64 {
+        self.set.len()
+    }
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn contention(&self) -> Option<ContentionCounters> {
+        let s = self.set.stats().snapshot();
+        Some(ContentionCounters {
+            attempts: s.cas_attempts,
+            aborts: s.cas_failures,
+            retries: s.cas_failures,
+        })
+    }
+}
+
 /// FR-BST (unbalanced augmented baseline).
 pub struct FrAdapter {
     set: FrSet<u64>,
@@ -366,6 +441,16 @@ impl ShardedBatAdapter {
     }
 }
 
+/// The combining-BAT forest front-end (batch cap 8 per shard; the cap
+/// is a const parameter of the member, see [`shard::CombiningBat`]).
+pub type ShardedFcBatAdapter = ShardedAdapter<shard::CombiningBat<8>>;
+
+impl ShardedFcBatAdapter {
+    pub fn new(shards: usize, partition: Partition) -> Self {
+        Self::with_name(shards, partition, shard_name!(shards, "ShardedBAT-FC"))
+    }
+}
+
 /// The per-edge fanout forest front-end.
 pub type ShardedFanoutAdapter = ShardedAdapter<FanoutSet>;
 
@@ -495,6 +580,8 @@ pub fn full_lineup() -> Vec<Box<dyn BenchSet>> {
     all.push(Box::new(PerHolderFanoutAdapter::new()));
     all.push(Box::new(ShardedBatAdapter::new(4, Partition::Hash)));
     all.push(Box::new(ShardedFanoutAdapter::new(4, Partition::Hash)));
+    all.push(Box::new(BatFcAdapter::new(8)));
+    all.push(Box::new(ShardedFcBatAdapter::new(4, Partition::Hash)));
     all
 }
 
@@ -519,6 +606,9 @@ mod tests {
         exercise(&BatAdapter::plain());
         exercise(&BatAdapter::del());
         exercise(&BatAdapter::eager());
+        for cap in [1, 4, 64] {
+            exercise(&BatFcAdapter::new(cap));
+        }
         exercise(&FrAdapter::new());
         exercise(&VcasAdapter::new());
         exercise(&FanoutAdapter::new());
@@ -527,6 +617,7 @@ mod tests {
             for shards in [1, 4] {
                 exercise(&ShardedBatAdapter::new(shards, p));
                 exercise(&ShardedFanoutAdapter::new(shards, p));
+                exercise(&ShardedFcBatAdapter::new(shards, p));
             }
         }
     }

@@ -1,0 +1,721 @@
+//! Flat-combining group commit: one `Propagate` per batch of updates.
+//!
+//! The paper's delegation variants (§5, Fig. 13–14) let an update hand its
+//! *remaining* propagation to the refresh that beat it; this module pushes
+//! that idea to its logical end. In **combining mode** writers publish
+//! their operation into a fixed-capacity MPSC ring and the first writer to
+//! claim the *combiner token* drains a bounded batch, applies every leaf
+//! edit, and runs a **single** root-to-leaf propagate covering the whole
+//! batch — k updates cost one version-tree rebuild of the touched paths
+//! instead of k.
+//!
+//! ## Protocol
+//!
+//! 1. **Enqueue** — the writer allocates a pooled [`OpCell`] (key, value,
+//!    result slot, status slot) and pushes its address into the
+//!    [`CombineRing`] (a Vyukov-style bounded MPSC queue). On a full ring
+//!    it helps drain by trying to combine.
+//! 2. **Claim** — any writer whose cell is not yet drained tries to CAS
+//!    the combiner token. Exactly one claimant wins; the rest spin on
+//!    their cell. Because *every* waiter alternates "check cell" with
+//!    "try claim", an abandoned batch can always be adopted: there is no
+//!    schedule in which an enqueued op waits forever on a free token
+//!    (the lost-wakeup model check in `tests/sched_combine.rs`).
+//! 3. **Drain + apply** — the combiner pops up to `batch_cap` cells,
+//!    applies each leaf edit through the chromatic tree exactly as the
+//!    per-op path would, records the per-op `changed` result in the cell,
+//!    and publishes one shared [`PropStatus`] into every cell.
+//! 4. **Commit** — one batched propagate ([`BatMap::propagate_batch`])
+//!    walks the union of the batch keys' search paths bottom-up, double-
+//!    refreshing each node once; the final refresh of the entry swaps the
+//!    root version **once per batch**, so queries observe group commits
+//!    atomically. The combiner then sets `PropStatus::done`, releasing
+//!    every waiter of the batch through the same handshake delegation
+//!    uses ([`wait_for_delegatee`]).
+//!
+//! ## Linearization
+//!
+//! Ops of one batch linearize in application order at the batch's root
+//! arrival (the entry refresh). A waiter returns only after observing
+//! `done`, i.e. after its update has *arrived at the root* (§4.1) — the
+//! same completion rule as the per-op path, so combined and plain
+//! histories satisfy the same linearizability oracle
+//! (`workloads::linearize`).
+//!
+//! ## Why one propagate per batch is sound
+//!
+//! Under the token the combiner is the **only** thread performing
+//! non-nil → non-nil version CASes (queries only fix nil versions of
+//! fresh patch nodes, and `refresh_top` starts with `read_version`, which
+//! nil-fixes first). Applying all leaf edits before walking means the
+//! walk sees the final node-tree shape of the batch; refreshing the union
+//! of search paths bottom-up is then exactly the paper's k sequential
+//! propagates with the shared path prefixes deduplicated — the same
+//! dedup `PropScratch::refreshed` performs within a single propagate.
+//! Replacement patches created by rebalancing carry nil versions and
+//! inherit arrival points (Def. 7), exactly as in the per-op argument.
+
+use sched::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+
+use chromatic::SentKey;
+use ebr::{CachePadded, Guard};
+
+use crate::augment::Augmentation;
+use crate::map::BatMap;
+use crate::propagate::wait_for_delegatee;
+use crate::refresh::{fence_node_ptr, refresh_top, BatNode};
+use crate::stats::StatsHandle;
+use crate::version::{retire_version, PropStatus};
+
+/// Result-slot encoding: the op has been drained and applied but carries
+/// `changed == false`.
+const RESULT_UNCHANGED: u64 = 1;
+/// Result-slot encoding: applied with `changed == true`.
+const RESULT_CHANGED: u64 = 2;
+
+/// Cap on batches drained per token acquisition, bounding how long one
+/// writer is stuck in the combiner role while its own op is long done.
+const MAX_ROUNDS_PER_CLAIM: usize = 64;
+
+/// One published operation, exchanged by address through the ring.
+/// Allocated from the [`ebr::pool`] free lists (the ring recycles these
+/// at update rate — exactly the reuse pattern the pool exists for).
+struct OpCell<K, V> {
+    key: K,
+    /// `Some(v)` = insert, `None` = remove.
+    value: Option<V>,
+    /// 0 = pending; [`RESULT_UNCHANGED`] / [`RESULT_CHANGED`] once applied.
+    /// Published to the waiter by the `status` Release store.
+    result: AtomicU64,
+    /// `*const PropStatus` of the batch that carried this op; 0 until
+    /// drained. The waiter's Acquire load of a non-zero status is its
+    /// "my op has been applied" edge.
+    status: AtomicU64,
+}
+
+/// One ring slot (Vyukov bounded-queue cell): `seq` is the slot's turn
+/// number, `op` the published [`OpCell`] address.
+struct Slot {
+    seq: AtomicU64,
+    op: AtomicU64,
+}
+
+/// Fixed-capacity MPSC publication ring. Producers are the writers;
+/// the single consumer is whichever writer currently holds the combiner
+/// token (the token's Acquire/Release CAS hands the dequeue cursor from
+/// one combiner to the next).
+pub(crate) struct CombineRing {
+    slots: Box<[CachePadded<Slot>]>,
+    mask: u64,
+    enqueue_pos: CachePadded<AtomicU64>,
+    /// Only ever touched by the token holder.
+    dequeue_pos: CachePadded<AtomicU64>,
+    /// Combiner token: 0 = free, 1 = held.
+    combiner: CachePadded<AtomicU64>,
+}
+
+impl CombineRing {
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|i| {
+                CachePadded::new(Slot {
+                    seq: AtomicU64::new(i as u64),
+                    op: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        CombineRing {
+            slots,
+            mask: capacity as u64 - 1,
+            enqueue_pos: CachePadded::new(AtomicU64::new(0)),
+            dequeue_pos: CachePadded::new(AtomicU64::new(0)),
+            combiner: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Publish one op address. `false` = ring full (caller should help
+    /// drain and retry).
+    fn try_push(&self, op: u64) -> bool {
+        // ordering: the enqueue cursor is only a claim ticket; the slot's
+        // `seq` Release below is what publishes the op to the consumer.
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match seq.cmp(&pos) {
+                std::cmp::Ordering::Equal => {
+                    // Slot is ours to claim for ticket `pos`.
+                    // ordering: Relaxed suffices on the ticket CAS — slot
+                    // ownership transfer rides on the seq Acquire above /
+                    // Release below, not on the cursor.
+                    match self.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed, // ordering: ticket only, see above
+                        Ordering::Relaxed, // ordering: failure just rereads
+                    ) {
+                        Ok(_) => {
+                            // ordering: plain payload store; made visible
+                            // to the consumer by the seq Release below.
+                            slot.op.store(op, Ordering::Relaxed);
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return true;
+                        }
+                        Err(cur) => pos = cur,
+                    }
+                }
+                std::cmp::Ordering::Less => return false, // full ring
+                std::cmp::Ordering::Greater => {
+                    // Lost the ticket race; reread the cursor.
+                    // ordering: as for the initial cursor load.
+                    pos = self.enqueue_pos.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Pop one op address. **Caller must hold the combiner token** — the
+    /// dequeue cursor is single-consumer state.
+    fn pop(&self) -> Option<u64> {
+        // ordering: Relaxed is sound because only the token holder touches
+        // the dequeue cursor, and the token CAS (Acquire) / release store
+        // (Release) order cursor accesses across combiner handoffs.
+        let pos = self.dequeue_pos.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == pos + 1 {
+            // ordering: the seq Acquire above synchronizes with the
+            // producer's Release, making the op payload visible.
+            let op = slot.op.load(Ordering::Relaxed);
+            // Recycle the slot for lap `pos + capacity`.
+            slot.seq
+                .store(pos + self.slots.len() as u64, Ordering::Release);
+            // ordering: single-consumer cursor, see the load above.
+            self.dequeue_pos.store(pos + 1, Ordering::Relaxed);
+            Some(op)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runtime state of a [`BatMap`] in combining mode (see the module docs).
+/// In the sharded forest each shard's BAT owns one of these, making the
+/// rings exactly the per-subtree request queues the serving-layer
+/// direction calls for.
+pub struct Combining {
+    ring: CombineRing,
+    batch_cap: usize,
+}
+
+impl Combining {
+    pub(crate) fn new(batch_cap: usize) -> Self {
+        let batch_cap = batch_cap.max(1);
+        // Ring sized to absorb a couple of batches of backlog; beyond
+        // that, producers help drain instead of queueing deeper.
+        let capacity = (batch_cap * 2).next_power_of_two().clamp(8, 4096);
+        Combining {
+            ring: CombineRing::new(capacity),
+            batch_cap,
+        }
+    }
+
+    /// Maximum ops one group commit carries.
+    pub fn batch_cap(&self) -> usize {
+        self.batch_cap
+    }
+}
+
+/// Reusable combiner working state (batch buffer + replaced-version list),
+/// mirroring `propagate`'s `PropScratch`: capacity survives between
+/// batches, so steady-state combining allocates nothing.
+#[derive(Default)]
+struct CombineScratch {
+    batch: Vec<u64>,
+    to_retire: Vec<u64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<CombineScratch> = RefCell::new(CombineScratch::default());
+}
+
+/// One spin-wait step: busy-poll with periodic yields (and under
+/// `sched-test`, scheduler-visible yield points so exploration can drive
+/// every interleaving of the handshake).
+#[inline]
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins & 0x3f == 0 {
+        #[cfg(feature = "sched-test")]
+        sched::yield_now();
+        #[cfg(not(feature = "sched-test"))]
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+impl<K, V, A> BatMap<K, V, A>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    A: Augmentation<K, V>,
+{
+    /// Combining-mode update path: publish the op, then either combine or
+    /// wait until a combiner carries it to the root. `value` `Some` =
+    /// insert, `None` = remove; returns the op's `changed` result.
+    pub(crate) fn combined_update(&self, key: K, value: Option<V>) -> bool {
+        let c = self
+            .combining
+            .as_ref()
+            .expect("combined_update requires combining mode");
+        let guard = ebr::pin();
+        let h = self.stats.local();
+        let cell = ebr::pool::alloc_pooled(OpCell {
+            key,
+            value,
+            result: AtomicU64::new(0),
+            status: AtomicU64::new(0),
+        });
+        // SAFETY: just allocated above; freed only by this function after
+        // the batch publishes `status` (see the dispose below).
+        let cell_ref = unsafe { &*cell };
+
+        let mut spins = 0u32;
+        while !c.ring.try_push(cell as u64) {
+            // Full ring: drain it ourselves if the token is free.
+            self.try_combine(c, &guard, &h);
+            backoff(&mut spins);
+        }
+
+        loop {
+            let st = cell_ref.status.load(Ordering::Acquire);
+            if st != 0 {
+                // Drained and applied; now wait for the batch's propagate
+                // to arrive at the root (completion rule, module docs).
+                // `None` timeout: the combiner sets `done` after a bounded
+                // walk, so this wait is bounded by the batch commit.
+                let _ = wait_for_delegatee(st, None, &h);
+                break;
+            }
+            // Not drained yet: claim the token (draining our own op) or
+            // let the current holder finish. Trying on every lap is the
+            // lost-wakeup defense — an op in the ring plus a free token
+            // always makes progress.
+            if self.try_combine(c, &guard, &h) {
+                continue;
+            }
+            backoff(&mut spins);
+        }
+
+        // ordering: the status Acquire above ordered the combiner's result
+        // store before this load.
+        let res = cell_ref.result.load(Ordering::Relaxed);
+        debug_assert!(res == RESULT_UNCHANGED || res == RESULT_CHANGED);
+        // SAFETY: the combiner's final access to the cell is the `status`
+        // Release store, which happens-before the Acquire load that ended
+        // the wait loop — this thread is now the cell's sole owner, so it
+        // can return the memory straight to the pool.
+        unsafe { ebr::pool::dispose_pooled(cell) };
+        res == RESULT_CHANGED
+    }
+
+    /// Try to claim the combiner token and drain the ring. Returns whether
+    /// this call combined (i.e. held the token).
+    fn try_combine(&self, c: &Combining, guard: &Guard, h: &StatsHandle<'_>) -> bool {
+        // ordering: Acquire on success pairs with the Release store at the
+        // end, handing the single-consumer dequeue cursor to the next
+        // combiner; failure needs no ordering (we just retry later).
+        if c.ring
+            .combiner
+            // ordering: Relaxed on failure — no state handed over, retry.
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        h.incr_combiner_handoffs();
+        let mut scratch = SCRATCH.with(|s| s.take());
+        for _ in 0..MAX_ROUNDS_PER_CLAIM {
+            scratch.batch.clear();
+            while scratch.batch.len() < c.batch_cap {
+                match c.ring.pop() {
+                    Some(op) => scratch.batch.push(op),
+                    None => break,
+                }
+            }
+            if scratch.batch.is_empty() {
+                break;
+            }
+            self.commit_batch(&mut scratch, guard, h);
+        }
+        scratch.batch.clear();
+        scratch.to_retire.clear();
+        SCRATCH.with(|s| *s.borrow_mut() = scratch);
+        // ordering: Release publishes the dequeue cursor (and all batch
+        // effects) to the next token claimant.
+        c.ring.combiner.store(0, Ordering::Release);
+        true
+    }
+
+    /// Apply one drained batch and group-commit it: leaf edits, one shared
+    /// `PropStatus`, one batched propagate, one waiter release.
+    fn commit_batch(&self, scratch: &mut CombineScratch, guard: &Guard, h: &StatsHandle<'_>) {
+        let ps = PropStatus::alloc() as u64;
+        for &op in &scratch.batch {
+            // SAFETY: every address in the ring came from `combined_update`
+            // of this map; its owner is spinning on `status` and cannot
+            // free the cell before our Release store below.
+            let cell = unsafe { &*(op as *const OpCell<K, V>) };
+            let changed = match &cell.value {
+                Some(v) => self.tree.insert(cell.key.clone(), v.clone(), guard).changed,
+                None => self.tree.delete(&cell.key, guard).changed,
+            };
+            // One propagate-equivalent of work per op, keeping the §7
+            // "propagates == updates" accounting identity.
+            h.incr_propagates();
+            // ordering: plain payload store; published to the waiter by
+            // the status Release below.
+            cell.result.store(
+                if changed {
+                    RESULT_CHANGED
+                } else {
+                    RESULT_UNCHANGED
+                },
+                Ordering::Relaxed, // ordering: rides the status Release
+            );
+            // ordering: Release publishes the applied result (and the
+            // batch's PropStatus) to the waiting writer; this is also the
+            // combiner's last access to the cell (see `combined_update`).
+            cell.status.store(ps, Ordering::Release);
+        }
+        // Sort by key so the batched walk can partition op slices by the
+        // same comparison the per-op descent uses.
+        // SAFETY: cells stay alive while their owners wait on `status`
+        // (argument above); sorting only reads their keys.
+        scratch.batch.sort_by(|&a, &b| unsafe {
+            let ka = &(*(a as *const OpCell<K, V>)).key;
+            let kb = &(*(b as *const OpCell<K, V>)).key;
+            ka.cmp(kb)
+        });
+        scratch.to_retire.clear();
+        Self::propagate_batch(
+            self.tree.entry(),
+            &scratch.batch,
+            ps,
+            h,
+            &mut scratch.to_retire,
+        );
+        // Commit order as in `propagate`: release waiters, retire the
+        // status, then retire the replaced versions (§6).
+        // SAFETY: `ps` is the PropStatus allocated above, not yet retired.
+        unsafe { &*(ps as *const PropStatus) }
+            .done
+            .store(true, Ordering::Release);
+        // SAFETY: every waiter that can still read `ps` pinned an epoch
+        // before enqueueing, so the pool hands the memory out again only
+        // after they unpin (same pin-ordering argument as `propagate`).
+        unsafe { PropStatus::retire(guard, ps as *mut PropStatus) };
+        for &v in &scratch.to_retire {
+            // SAFETY: `v` was the replaced (now unreachable) version of a
+            // successful refresh by this batch's walk — the combiner is
+            // its unique retirer, and `guard` defers the free past all
+            // current pins.
+            unsafe { retire_version::<K, V, A>(guard, v) };
+        }
+        h.incr_combined_batches();
+        h.add_combined_ops(scratch.batch.len() as u64);
+    }
+
+    /// Refresh the union of the sorted batch keys' search paths, bottom-up
+    /// (post-order), double-refreshing each internal node once — the
+    /// batched equivalent of k `propagate` calls with shared path prefixes
+    /// deduplicated. The entry is refreshed last: the batch becomes
+    /// visible to queries in one root-version swap.
+    fn propagate_batch(
+        node: &BatNode<K, V, A>,
+        ops: &[u64],
+        ps: u64,
+        h: &StatsHandle<'_>,
+        to_retire: &mut Vec<u64>,
+    ) {
+        debug_assert!(!node.is_leaf(), "batch walk never descends into leaves");
+        // Partition by the per-op descent rule (`key < node.key()` goes
+        // left); op keys are always real keys, so every op goes left at
+        // sentinel-keyed nodes.
+        // SAFETY: cell lifetime argument as in `commit_batch`.
+        let split = ops.partition_point(|&op| unsafe {
+            let k = &(*(op as *const OpCell<K, V>)).key;
+            match node.key() {
+                SentKey::Key(nk) => k < nk,
+                _ => true,
+            }
+        });
+        let (lops, rops) = ops.split_at(split);
+        if !lops.is_empty() {
+            let l_raw = node.left_raw();
+            fence_node_ptr(l_raw, node.as_raw(), "left");
+            // SAFETY: child of a live node read under the combiner's pin.
+            let l = unsafe { BatNode::<K, V, A>::from_raw(l_raw) };
+            if !l.is_leaf() {
+                Self::propagate_batch(l, lops, ps, h, to_retire);
+            }
+        }
+        if !rops.is_empty() {
+            let r_raw = node.right_raw();
+            fence_node_ptr(r_raw, node.as_raw(), "right");
+            // SAFETY: as for the left child.
+            let r = unsafe { BatNode::<K, V, A>::from_raw(r_raw) };
+            if !r.is_leaf() {
+                Self::propagate_batch(r, rops, ps, h, to_retire);
+            }
+        }
+        h.incr_nodes_visited();
+        // Double refresh (Fig. 3 lines 43–45). Under the token the
+        // combiner is the only non-nil CASer, so r1 failing twice would
+        // mean a protocol violation — but keep the plain variant's
+        // tolerant shape: a double failure only skips one node's refresh,
+        // which the parent's refresh then covers.
+        let r1 = refresh_top(node, ps, h);
+        if r1.success {
+            to_retire.push(r1.replaced);
+        } else {
+            let r2 = refresh_top(node, ps, h);
+            if r2.success {
+                to_retire.push(r2.replaced);
+            }
+        }
+    }
+}
+
+/// Model-check bodies for the combiner handshake, shared by the
+/// `sched-test` corpus (`tests/sched_combine.rs`). Lives here because the
+/// lost-wakeup model needs the ring/cell internals: the *public* update
+/// path blocks until commit, which a DFS explorer cannot enumerate (a
+/// branch that starves the combiner spins forever and would burn the
+/// step budget on a fairness artifact, not a protocol bug).
+#[cfg(feature = "sched-test")]
+pub mod model {
+    use super::*;
+    use crate::map::BatMap;
+    use std::sync::Arc;
+
+    /// Exhaustive-DFS-able handshake scenario — **every branch bounded**:
+    /// two vthreads each allocate a cell, publish it into the ring
+    /// (helping drain on a full ring), and make exactly **one** combine
+    /// attempt — modeling a combiner that may exit (round cap, or losing
+    /// the claim race) with the *other* op still queued. The root then
+    /// adopts whatever was abandoned, exactly as a real waiter finding
+    /// the token free would.
+    ///
+    /// Oracles, checked on every explored schedule:
+    /// * **no lost op** — both cells end with a published status: no
+    ///   interleaving of enqueue/claim/drain/publish can strand an
+    ///   enqueued op once a later combiner runs (the lost-wakeup check);
+    /// * **commit reached the root** — both keys are visible through a
+    ///   fresh snapshot and the root size is exact;
+    /// * **results exact** — two distinct-key inserts both report
+    ///   `changed`.
+    pub fn handshake_body() {
+        let m = Arc::new(BatMap::<u64, u64>::with_combining(2));
+        let hs: Vec<_> = (0..2u64)
+            .map(|t| {
+                let m = m.clone();
+                sched::spawn(move || {
+                    let c = m.combining.as_ref().expect("combining mode");
+                    let guard = ebr::pin();
+                    let h = m.stats.local();
+                    let cell = ebr::pool::alloc_pooled(OpCell::<u64, u64> {
+                        key: t,
+                        value: Some(t * 10),
+                        result: AtomicU64::new(0),
+                        status: AtomicU64::new(0),
+                    });
+                    let mut spins = 0u32;
+                    while !c.ring.try_push(cell as u64) {
+                        m.try_combine(c, &guard, &h);
+                        backoff(&mut spins);
+                    }
+                    // One combine attempt, win or lose — an "abandoned
+                    // combiner" leaves its own or the peer's op queued.
+                    m.try_combine(c, &guard, &h);
+                    cell as u64
+                })
+            })
+            .collect();
+        let cells: Vec<u64> = hs.into_iter().map(|h| h.join()).collect();
+
+        // Adoption: the root finds the token free (both claimants
+        // returned, and try_combine always releases) and drains the
+        // leftovers — the model of a waiter rescuing abandoned work.
+        let guard = ebr::pin();
+        let h = m.stats.local();
+        assert!(
+            m.try_combine(m.combining.as_ref().unwrap(), &guard, &h),
+            "token must be free once all claimants returned"
+        );
+
+        for (i, &cell) in cells.iter().enumerate() {
+            // SAFETY: the cells are freed only below; the combiner's last
+            // access was the status Release store.
+            let cell = unsafe { &*(cell as *const OpCell<u64, u64>) };
+            assert_ne!(
+                cell.status.load(Ordering::Acquire),
+                0,
+                "lost op {i}: enqueued but never drained"
+            );
+            assert_eq!(
+                // ordering: ordered by the status Acquire just above.
+                cell.result.load(Ordering::Relaxed),
+                RESULT_CHANGED,
+                "distinct-key insert {i} must report changed"
+            );
+        }
+        assert_eq!(m.len(), 2, "both ops must have committed at the root");
+        assert_eq!(m.get(&0), Some(0));
+        assert_eq!(m.get(&1), Some(10));
+        let s = m.stats.snapshot();
+        assert_eq!(s.combined_ops, 2, "accounting covers every drained op");
+        for &cell in &cells {
+            // SAFETY: status observed non-zero above, so the combiner is
+            // done with the cell; the root is its sole owner now.
+            unsafe { ebr::pool::dispose_pooled(cell as *mut OpCell<u64, u64>) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::map::{BatMap, BatSet};
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_combining_matches_reference() {
+        let m = BatMap::<u64, u64>::with_combining(8);
+        assert_eq!(m.combining_cap(), Some(8));
+        let mut reference = std::collections::BTreeMap::new();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 128;
+            if x & 1 == 0 {
+                assert_eq!(
+                    m.insert(k, k),
+                    reference.insert(k, k).is_none(),
+                    "insert {k}"
+                );
+            } else {
+                assert_eq!(m.remove(&k), reference.remove(&k).is_some(), "remove {k}");
+            }
+        }
+        assert_eq!(m.len(), reference.len() as u64);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.keys(),
+            reference.keys().copied().collect::<Vec<_>>(),
+            "combined updates must leave the same key set"
+        );
+        m.node_tree().validate(true).expect("valid");
+        let s = m.stats.snapshot();
+        assert_eq!(s.propagates, 3000, "one propagate-equivalent per op");
+        assert!(s.combined_batches > 0);
+        assert_eq!(s.combined_ops, 3000);
+        ebr::flush();
+    }
+
+    #[test]
+    fn concurrent_combining_converges() {
+        for cap in [1usize, 4, 32] {
+            let m = Arc::new(BatSet::<u64>::with_combining(cap));
+            const THREADS: usize = 8;
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let m = m.clone();
+                    std::thread::spawn(move || {
+                        let mut x = 0x9e37_79b9u64.wrapping_mul(t as u64 + 1) | 1;
+                        for _ in 0..1200 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = x % 96;
+                            if x & 2 == 0 {
+                                m.insert(k);
+                            } else {
+                                m.remove(&k);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let snap = m.snapshot();
+            assert_eq!(
+                snap.len(),
+                snap.keys().len() as u64,
+                "cap {cap}: root size must match leaves after group commits"
+            );
+            let s = m.stats().snapshot();
+            assert_eq!(s.propagates, 8 * 1200);
+            assert_eq!(s.combined_ops, 8 * 1200);
+            assert!(
+                s.avg_combined_batch() <= cap as f64 + 1e-9,
+                "batches never exceed the cap"
+            );
+            m.as_map().node_tree().validate(true).expect("valid");
+            ebr::flush();
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_combining_exact() {
+        let m = Arc::new(BatMap::<u64, u64>::with_combining(16));
+        const THREADS: u64 = 6;
+        const PER: u64 = 600;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    let base = t * PER;
+                    for k in base..base + PER {
+                        assert!(m.insert(k, k));
+                    }
+                    for k in (base..base + PER).filter(|k| k % 3 == 0) {
+                        assert!(m.remove(&k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expect = THREADS * PER - THREADS * PER / 3;
+        assert_eq!(m.len(), expect);
+        assert_eq!(m.snapshot().keys().len() as u64, expect);
+        ebr::flush();
+    }
+
+    #[test]
+    fn batch_commit_is_atomic_at_the_root() {
+        // Group commit's query-visible property: the root version changes
+        // once per batch, so combined_batches bounds the number of
+        // distinct version tokens an observer can see.
+        let m = BatMap::<u64, ()>::with_combining(4);
+        let t0 = m.version_token();
+        for k in 0..40u64 {
+            m.insert(k, ());
+        }
+        let s = m.stats.snapshot();
+        // Sequential caller: every op is its own batch (the ring never
+        // backs up), but the accounting must still be exact.
+        assert_eq!(s.combined_ops, 40);
+        assert!(s.combined_batches <= 40);
+        assert_ne!(m.version_token(), t0);
+        ebr::flush();
+    }
+}

@@ -51,6 +51,7 @@
 
 pub mod augment;
 pub mod bulk;
+pub mod combine;
 pub mod hotpath;
 pub mod interval;
 pub mod map;

@@ -18,7 +18,9 @@
 use sched::atomic::Ordering;
 use std::cell::RefCell;
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+#[cfg(not(feature = "sched-test"))]
+use std::time::Instant;
 
 use chromatic::SentKey;
 use ebr::Guard;
@@ -108,10 +110,20 @@ thread_local! {
 }
 
 /// Result of waiting on a delegation chain.
-enum WaitResult {
+pub(crate) enum WaitResult {
     Done,
     TimedOut,
 }
+
+/// Under the deterministic scheduler, wall-clock deadlines are replaced by
+/// a yield-count budget: any configured timeout means "give up after this
+/// many yields". Exploration bodies must be clock-free (a wall-clock read
+/// would make replay diverge from the recorded schedule), and a yield
+/// budget preserves the property the timeout exists for — the wait is
+/// bounded, so the lock-free fallback path stays reachable — while making
+/// the *moment* it fires a deterministic function of the schedule.
+#[cfg(feature = "sched-test")]
+const SCHED_WAIT_YIELD_BUDGET: u32 = 64;
 
 /// `WaitForDelegatee` (Fig. 12 lines 1–7): spin on the chain head's `done`
 /// flag, hopping along `delegatee` pointers so a long chain costs one wait.
@@ -119,15 +131,24 @@ enum WaitResult {
 /// The deadline is computed once up front (and only when a timeout is
 /// configured), keeping `Instant::now()` syscalls out of the spin loop;
 /// the clock is re-read only on the slow yield path, every 64 spins.
+/// Under `sched-test` the deadline is a yield-count budget instead (see
+/// [`SCHED_WAIT_YIELD_BUDGET`]), keeping exploration bodies clock-free.
 ///
 /// Safety of the chased pointers: every `PropStatus` we can reach is kept
 /// alive by the epoch pins of the still-running propagates that link to it
 /// (§6; see DESIGN.md for the pin-ordering argument).
-fn wait_for_delegatee(start: u64, timeout: Option<Duration>, h: &StatsHandle<'_>) -> WaitResult {
+pub(crate) fn wait_for_delegatee(
+    start: u64,
+    timeout: Option<Duration>,
+    h: &StatsHandle<'_>,
+) -> WaitResult {
     // `checked_add`: a timeout too large to represent as an instant (e.g.
     // Duration::MAX) degrades to "never time out", like the seed's
     // elapsed()-based check, instead of panicking.
+    #[cfg(not(feature = "sched-test"))]
     let deadline = timeout.and_then(|t| Instant::now().checked_add(t));
+    #[cfg(feature = "sched-test")]
+    let mut yield_budget = timeout.map(|_| SCHED_WAIT_YIELD_BUDGET);
     // SAFETY: `start` is a live PropStatus — see the pin-ordering argument
     // in the doc comment above; the linking propagate's epoch pin outlives
     // this wait.
@@ -147,11 +168,25 @@ fn wait_for_delegatee(start: u64, timeout: Option<Duration>, h: &StatsHandle<'_>
         spins += 1;
         if spins & 0x3f == 0 {
             // Single-core friendliness: hand the CPU to the delegatee.
-            std::thread::yield_now();
-            if let Some(dl) = deadline {
-                if Instant::now() >= dl {
-                    h.incr_delegation_timeouts();
-                    return WaitResult::TimedOut;
+            #[cfg(not(feature = "sched-test"))]
+            {
+                std::thread::yield_now();
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        h.incr_delegation_timeouts();
+                        return WaitResult::TimedOut;
+                    }
+                }
+            }
+            #[cfg(feature = "sched-test")]
+            {
+                sched::yield_now();
+                if let Some(b) = &mut yield_budget {
+                    *b -= 1;
+                    if *b == 0 {
+                        h.incr_delegation_timeouts();
+                        return WaitResult::TimedOut;
+                    }
                 }
             }
         } else {

@@ -1,0 +1,209 @@
+//! Deterministic-scheduler corpus for the flat-combining group-commit
+//! handshake (ISSUE 9): enqueue → claim → drain → publish.
+//!
+//! Three complementary proofs:
+//!
+//! 1. **Linearizability under explored schedules** — the full blocking
+//!    protocol (writers publish, wait, help combine) runs a contended
+//!    mixed history whose per-key event intervals are checked against
+//!    `workloads::linearize::check_key_history`. A *lost wakeup* — an op
+//!    enqueued but never completed — keeps its writer spinning, blows the
+//!    schedule's step budget, and fails the exploration loudly with a
+//!    replayable trace.
+//! 2. **Exhaustive handshake DFS** — `combine::model::handshake_body`
+//!    is a branch-bounded scenario (single combine attempt per claimant,
+//!    root adopts abandoned work) whose every explored interleaving must
+//!    end with both ops published and committed: the
+//!    lost-wakeup/abandoned-combiner model check proper.
+//! 3. **Yield-budget determinism** — under `sched-test` the
+//!    `wait_for_delegatee` wall-clock deadline is a yield-count budget;
+//!    replaying the same seed twice must produce byte-identical traces,
+//!    proving no wall-clock read leaks into scheduled code.
+//!
+//! Budget scales with `CBAT_SCHED_COMBINE_SCHEDULES` (default sized for
+//! CI).
+#![cfg(feature = "sched-test")]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cbat_core::{BatSet, DelegationPolicy};
+use sched::atomic::{AtomicU64, Ordering};
+use sched::{explore, explore_exhaustive, run_random, ExploreConfig, Policy};
+use workloads::linearize::{check_key_history, Event, OpKind};
+
+/// Key space of the contended mix: small enough that batches regularly
+/// carry multiple ops on the same key.
+const KEYS: u64 = 4;
+
+/// One combining race: three vthreads run mixed point ops through the
+/// full blocking protocol, timestamping each against a shared logical
+/// clock; afterwards every key's history must be linearizable and the
+/// root version self-consistent.
+fn combine_race_body(opseed: u64, batch_cap: usize) {
+    let set = Arc::new(BatSet::<u64>::with_combining(batch_cap));
+    let clock = Arc::new(AtomicU64::new(0));
+    // Touch lazy state (entry version, pool classes, ring) from the root
+    // vthread before spawning, on a key the history never uses.
+    set.insert(1_000);
+    set.remove(&1_000);
+    let hs: Vec<_> = (0..3u64)
+        .map(|t| {
+            let set = set.clone();
+            let clock = clock.clone();
+            sched::spawn(move || {
+                let mut x = opseed ^ (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut events: Vec<(u64, Event)> = Vec::new();
+                for _ in 0..4 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % KEYS;
+                    let kind = match x % 3 {
+                        0 => OpKind::Insert,
+                        1 => OpKind::Remove,
+                        _ => OpKind::Contains,
+                    };
+                    let invoke = clock.fetch_add(1, Ordering::SeqCst);
+                    let result = match kind {
+                        OpKind::Insert => set.insert(k),
+                        OpKind::Remove => set.remove(&k),
+                        OpKind::Contains => set.contains(&k),
+                    };
+                    let ret = clock.fetch_add(1, Ordering::SeqCst);
+                    events.push((
+                        k,
+                        Event {
+                            kind,
+                            result,
+                            invoke,
+                            ret,
+                        },
+                    ));
+                }
+                events
+            })
+        })
+        .collect();
+    let mut per_key: HashMap<u64, Vec<Event>> = HashMap::new();
+    for h in hs {
+        for (k, e) in h.join() {
+            per_key.entry(k).or_default().push(e);
+        }
+    }
+    for (k, evs) in per_key.iter_mut() {
+        assert!(
+            check_key_history(evs),
+            "key {k}: combined history not linearizable: {evs:?}"
+        );
+    }
+    // Post-race version-tree consistency: the root size is exact.
+    let snap = set.snapshot();
+    assert_eq!(
+        snap.len(),
+        snap.keys().len() as u64,
+        "root size and leaf count diverged after group commits"
+    );
+    set.as_map().node_tree().validate(true).expect("valid tree");
+}
+
+#[test]
+fn combining_updates_linearizable_under_explored_schedules() {
+    let budget: usize = std::env::var("CBAT_SCHED_COMBINE_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(160);
+    let per_cell = (budget / 4).max(1);
+    let mut explored = 0usize;
+    // Vary op streams, batch caps and preemption shapes: cap 1 degenerates
+    // to per-op commits, cap 4 forces multi-op batches.
+    for (opseed, cap, policy, seed) in [
+        (0xC0_4B01u64, 1usize, Policy::RandomWalk, 0x51ED_0001u64),
+        (0xC0_4B01, 4, Policy::Pct { depth: 3 }, 0x51ED_0002),
+        (0xC0_4B02, 2, Policy::RandomWalk, 0x51ED_0003),
+        (0xC0_4B02, 4, Policy::RandomWalk, 0x51ED_0004),
+    ] {
+        let cfg = ExploreConfig {
+            schedules: per_cell,
+            seed,
+            max_steps: 3_000_000,
+            policy,
+            stop_on_failure: true,
+        };
+        let report = explore(&cfg, move || combine_race_body(opseed, cap));
+        report.assert_clean("combining linearizability");
+        explored += report.schedules;
+    }
+    eprintln!(
+        "combine corpus: {explored} schedules clean (linearize oracle); \
+         scale with CBAT_SCHED_COMBINE_SCHEDULES"
+    );
+}
+
+#[test]
+fn combiner_handshake_exhaustive_dfs_no_lost_ops() {
+    // Every branch of the model body is bounded, so DFS enumeration is
+    // sound; the oracle inside the body is the lost-wakeup / abandoned-
+    // combiner check (no enqueued op may be stranded once a later
+    // combiner runs).
+    let max_schedules: usize = std::env::var("CBAT_SCHED_COMBINE_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800);
+    let report = explore_exhaustive(
+        max_schedules,
+        2_000_000,
+        cbat_core::combine::model::handshake_body,
+    );
+    report.assert_clean("combiner handshake DFS");
+    eprintln!(
+        "handshake DFS: {} schedules clean, exhausted={}",
+        report.schedules, report.exhausted
+    );
+}
+
+#[test]
+fn delegation_timeout_is_deterministic_yield_budget() {
+    // The satellite's first half: with the wall-clock deadline modeled as
+    // a yield budget, a schedule is a pure function of its seed. Any
+    // Instant::now() left on a scheduled path would make these traces
+    // diverge (the timeout would fire at host-dependent moments).
+    fn body() {
+        let set = Arc::new(BatSet::<u64>::with_policy(DelegationPolicy::Del {
+            timeout: Some(std::time::Duration::from_nanos(1)),
+        }));
+        set.insert(1_000);
+        let hs: Vec<_> = (0..2u64)
+            .map(|t| {
+                let set = set.clone();
+                sched::spawn(move || {
+                    // Same-key contention so refreshes collide, delegation
+                    // triggers, and the yield-budget timeout path runs.
+                    for i in 0..6u64 {
+                        let k = (t + i) % 2;
+                        if i % 2 == 0 {
+                            set.insert(k);
+                        } else {
+                            set.remove(&k);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        let snap = set.snapshot();
+        assert_eq!(snap.len(), snap.keys().len() as u64);
+    }
+    let a = run_random(0xD37E_2217, 3_000_000, body);
+    assert!(a.failure.is_none(), "run 1 failed: {:?}", a.failure);
+    let b = run_random(0xD37E_2217, 3_000_000, body);
+    assert!(b.failure.is_none(), "run 2 failed: {:?}", b.failure);
+    assert_eq!(
+        a.trace.render(),
+        b.trace.render(),
+        "schedule must be a pure function of the seed (wall clock leaked?)"
+    );
+    assert_eq!(a.steps, b.steps);
+}

@@ -578,3 +578,213 @@ mod tests {
         assert_eq!(reg.min_active(), u64::MAX);
     }
 }
+
+/// Deterministic-scheduler corpus for the **register-vs-trim window**
+/// (ISSUE 9 satellite, the PR 7 forensics follow-up): the poison-verified
+/// use-after-retire from the fanout hunt pointed at the gap inside
+/// [`SnapRegistry::register`] — `active` is incremented *before* the
+/// slot's timestamp is published, so a concurrent [`trim`] can observe
+/// `active > 0` with the registering thread's slot still at `u64::MAX`
+/// (or, with no other snapshot live, a `min_active` of `u64::MAX`) and
+/// cut aggressively while the registration is mid-flight.
+///
+/// The defense is two-layered and both layers are exercised here:
+/// * the slot pre-publishes a timestamp **no larger than** the value
+///   `register` returns *before* the clock advances, so a trim racing a
+///   completed registration can never cut a record that snapshot needs;
+/// * a trim racing an *incomplete* registration may cut deep, but the
+///   registrant's eventual timestamp is then ≥ every stamped record, so
+///   its reads stop at (or above) the surviving head — and [`trim`]'s
+///   claim-link-before-retire discipline means a pinned reader can never
+///   follow a `prev` edge into a claimed suffix.
+///
+/// Every branch of the bodies is bounded (single CAS publishes, chain
+/// length ≤ 2 per publish, no retry loops), so the window can be
+/// enumerated with **exhaustive DFS** rather than sampled: every explored
+/// schedule is a distinct interleaving, visited systematically from the
+/// first divergence point (the full space is larger than CI budgets —
+/// scale `VEDGE_SCHED_SCHEDULES` for campaigns). A use-after-retire under the
+/// debug pool's 0xDD poison surfaces as a poisoned `child()` value or a
+/// "use-after-retire" panic, both failing the oracle with a replayable
+/// trace.
+#[cfg(all(test, feature = "sched-test"))]
+mod sched_tests {
+    use super::*;
+    use sched::{explore, explore_exhaustive, ExploreConfig, Policy};
+    use std::sync::Arc;
+
+    /// One edge over child 10; writers publish 20 (then 30).
+    struct Scene {
+        clock: SnapClock,
+        edge: VersionedEdge,
+    }
+
+    impl Scene {
+        fn new() -> Arc<Scene> {
+            Arc::new(Scene {
+                clock: SnapClock::new(),
+                edge: VersionedEdge::new(10),
+            })
+        }
+
+        /// The owning structure's publish path (as in `fanout`): install
+        /// a record over the current head, stamp it, trim at the registry
+        /// floor.
+        fn publish(&self, child: u64) {
+            let guard = ebr::pin();
+            let head = self.edge.head();
+            let rec = VersionRecord::alloc(child, head);
+            self.edge
+                .cell()
+                .compare_exchange(head, rec, Ordering::SeqCst, Ordering::SeqCst)
+                .expect("sole writer");
+            // SAFETY: `rec` was just installed on a reachable edge under
+            // our pin.
+            unsafe { VersionRecord::from_raw(rec) }.stamp(self.clock.clock());
+            trim(&guard, rec, self.clock.min_active(), self.clock.clock());
+        }
+
+        /// Snapshot read with the pin held across register + read.
+        fn read_pinned(&self) -> u64 {
+            let _guard = ebr::pin();
+            let ts = self.clock.register();
+            let v = self.edge.read_at(self.clock.clock(), ts);
+            self.clock.deregister();
+            v
+        }
+
+        /// Snapshot read with register and read under **different** pins —
+        /// the `FanoutSet::snapshot` shape the forensics implicated: the
+        /// registration's guard is dropped and the actual read happens
+        /// under a later pin, so only the registry floor (not the epoch)
+        /// protects the chain between the two.
+        fn read_repinned(&self) -> u64 {
+            let ts = {
+                let _guard = ebr::pin();
+                self.clock.register()
+            };
+            let v = {
+                let _guard = ebr::pin();
+                self.edge.read_at(self.clock.clock(), ts)
+            };
+            self.clock.deregister();
+            v
+        }
+
+        /// Quiescent oracle + chain teardown (all vthreads joined).
+        fn finish(&self, expect_child: u64) {
+            let _guard = ebr::pin();
+            let ts = self.clock.register();
+            assert_eq!(
+                self.edge.read_at(self.clock.clock(), ts),
+                expect_child,
+                "fresh snapshot must see the final publish"
+            );
+            self.clock.deregister();
+            // SAFETY: every vthread joined; the surviving chain is
+            // exclusively ours. Trimmed suffixes were detached (prev = 0)
+            // before retirement, so this walk cannot reach them.
+            unsafe { dispose_chain(self.edge.cell().swap(0, Ordering::SeqCst)) };
+        }
+    }
+
+    /// One publish+trim racing one registered read. Oracle: the read sees
+    /// a *published* child — never a poisoned/reclaimed word.
+    fn register_vs_trim_body(repin: bool) {
+        let s = Scene::new();
+        let (sw, sr) = (s.clone(), s.clone());
+        let w = sched::spawn(move || sw.publish(20));
+        let r = sched::spawn(move || {
+            if repin {
+                sr.read_repinned()
+            } else {
+                sr.read_pinned()
+            }
+        });
+        w.join();
+        let v = r.join();
+        assert!(
+            v == 10 || v == 20,
+            "snapshot read returned an unpublished child: {v:#x}"
+        );
+        s.finish(20);
+    }
+
+    #[test]
+    fn register_vs_trim_exhaustive_dfs() {
+        let budget: usize = std::env::var("VEDGE_SCHED_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20_000);
+        for repin in [false, true] {
+            let report = explore_exhaustive(budget, 500_000, move || register_vs_trim_body(repin));
+            report.assert_clean(if repin {
+                "register-vs-trim (repinned read)"
+            } else {
+                "register-vs-trim (pinned read)"
+            });
+            eprintln!(
+                "register-vs-trim repin={repin}: {} schedules, exhausted={}",
+                report.schedules, report.exhausted
+            );
+        }
+    }
+
+    /// Wider randomized corpus: two publishes (so trims have real work),
+    /// two concurrent readers covering both pin shapes, and a third
+    /// reader registering *during* the second publish — more registration
+    /// windows per schedule than the DFS scenario can afford.
+    fn contended_body() {
+        let s = Scene::new();
+        let sw = s.clone();
+        let w = sched::spawn(move || {
+            sw.publish(20);
+            sw.publish(30);
+        });
+        let readers: Vec<_> = (0..3u64)
+            .map(|i| {
+                let sr = s.clone();
+                sched::spawn(move || {
+                    if i % 2 == 0 {
+                        sr.read_pinned()
+                    } else {
+                        sr.read_repinned()
+                    }
+                })
+            })
+            .collect();
+        w.join();
+        for r in readers {
+            let v = r.join();
+            assert!(
+                v == 10 || v == 20 || v == 30,
+                "snapshot read returned an unpublished child: {v:#x}"
+            );
+        }
+        s.finish(30);
+    }
+
+    #[test]
+    fn register_vs_trim_explored_random() {
+        let budget: usize = std::env::var("VEDGE_SCHED_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(600);
+        let per_cell = (budget / 2).max(1);
+        for (policy, seed) in [
+            (Policy::RandomWalk, 0x7ED6_0001u64),
+            (Policy::Pct { depth: 3 }, 0x7ED6_0002),
+        ] {
+            let cfg = ExploreConfig {
+                schedules: per_cell,
+                seed,
+                max_steps: 1_000_000,
+                policy,
+                stop_on_failure: true,
+            };
+            let report = explore(&cfg, contended_body);
+            report.assert_clean("register-vs-trim contended");
+        }
+        eprintln!("register-vs-trim contended: {budget} schedules clean");
+    }
+}
