@@ -592,6 +592,21 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
+    fn combining_occupancy_reports_batch_fill() {
+        let m = BatMap::<u64, u64>::with_combining(4);
+        assert_eq!(m.combining_occupancy(), Some(0.0), "no batches yet");
+        for k in 0..64u64 {
+            m.insert(k, k);
+        }
+        let occ = m.combining_occupancy().unwrap();
+        // Sequential callers combine singleton batches: fill is exactly
+        // 1/cap. (Contended runs push this toward 1.0.)
+        assert!((occ - 0.25).abs() < 1e-9, "occupancy {occ}");
+        let plain = BatMap::<u64, u64>::new();
+        assert_eq!(plain.combining_occupancy(), None, "not combining");
+    }
+
+    #[test]
     fn sequential_combining_matches_reference() {
         let m = BatMap::<u64, u64>::with_combining(8);
         assert_eq!(m.combining_cap(), Some(8));

@@ -86,6 +86,21 @@ where
         self.combining.as_ref().map(|c| c.batch_cap())
     }
 
+    /// Mean group-commit batch fill as a fraction of `batch_cap` (`None`
+    /// when not combining, 0.0 before the first combined batch). This is
+    /// the measured-occupancy signal behind the serving layer's
+    /// per-shard batch-cap pick: a ring that drains near-empty batches
+    /// wants a smaller cap (the PR 9 `fc_sweep` latency data), a ring
+    /// combining full batches earns a larger one.
+    pub fn combining_occupancy(&self) -> Option<f64> {
+        let cap = self.combining_cap()? as f64;
+        let s = self.stats.snapshot();
+        if s.combined_batches == 0 {
+            return Some(0.0);
+        }
+        Some(s.avg_combined_batch() / cap)
+    }
+
     /// Full-control constructor.
     pub fn with_options(balanced: bool, policy: DelegationPolicy) -> Self {
         let map = BatMap {
@@ -334,6 +349,12 @@ where
     /// cache-padded stripes; see [`crate::stats::BatStats`]).
     pub fn stats(&self) -> &BatStats {
         &self.map.stats
+    }
+
+    /// Mean group-commit batch fill fraction (see
+    /// [`BatMap::combining_occupancy`]).
+    pub fn combining_occupancy(&self) -> Option<f64> {
+        self.map.combining_occupancy()
     }
 }
 

@@ -216,9 +216,10 @@ fn sorted_contains(xs: &[u64], k: u64) -> bool {
 }
 
 /// Reclamation callback for a (retired or never-published) node: version
-/// chains go back to the pool as records — never touching the children old
-/// versions point to, which are reclaimed by their own retirement — then
-/// the node memory itself is released.
+/// chains go back to the pool as records — children superseded versions
+/// point to are freed only if still pending on a record's retire list
+/// (otherwise their own retirement owns them) — then the node memory
+/// itself is released.
 ///
 /// # Safety
 /// `p` must come from [`BNode::alloc`] and be unreachable (post-grace for
@@ -681,6 +682,21 @@ impl FanoutSet {
         );
         let finalize_mask = (u128::MAX >> (128 - vset.len())) & !1;
         let pub_rec = VersionRecord::alloc(new_top, pub_entry.head);
+        // Retire order (the PR 7 forensics fix): the replaced region — old
+        // leaf plus any cascade-replaced internals — stays reachable
+        // through the superseded record for as long as a registered
+        // snapshot can walk to it, so it must NOT be handed to EBR at
+        // commit time. Attach it to the new record instead (still private
+        // until the SCX publishes it); `vedge::trim` hands the nodes to
+        // EBR at the instant it detaches the record covering them.
+        {
+            // SAFETY: `pub_rec` is ours until the SCX below publishes it.
+            let pr = unsafe { VersionRecord::from_raw(pub_rec) };
+            pr.attach_retired(path[leaf_level].child, free_node);
+            for &raw in replaced.iter() {
+                pr.attach_retired(raw, free_node);
+            }
+        }
         self.stats.incr_attempt();
         let ok = unsafe {
             scx(
@@ -693,24 +709,24 @@ impl FanoutSet {
         };
         if !ok {
             // Never published; the record goes straight back to the pool
-            // (NOT as a chain: its prev is the live head).
+            // (NOT as a chain: its prev is the live head). The attached
+            // retire cells are dropped without touching the nodes — the
+            // "replaced" region is still the live one.
             self.stats.incr_abort();
-            unsafe { ebr::pool::dispose_pooled(pub_rec as *mut VersionRecord) };
+            unsafe {
+                VersionRecord::from_raw(pub_rec).abort_retired();
+                ebr::pool::dispose_pooled(pub_rec as *mut VersionRecord);
+            }
             return None;
         }
         self.stats.incr_commit();
 
         // Committed: stamp before returning (so ops that finish before a
-        // later snapshot starts are always visible to it), retire the
-        // replaced path, and trim the edge's version list down to what
-        // live snapshots can still reach.
+        // later snapshot starts are always visible to it), then trim the
+        // edge's version list down to what live snapshots can still reach
+        // — which also retires the replaced region once its covering
+        // record is detached.
         unsafe { VersionRecord::from_raw(pub_rec) }.stamp(self.sync.clock());
-        unsafe {
-            guard.retire_with(path[leaf_level].child as *mut u8, free_node);
-            for &raw in replaced.iter() {
-                guard.retire_with(raw as *mut u8, free_node);
-            }
-        }
         vedge::trim(guard, pub_rec, self.sync.min_active(), self.sync.clock());
         Some(true)
     }
@@ -895,10 +911,10 @@ impl Default for FanoutSet {
 
 impl Drop for FanoutSet {
     fn drop(&mut self) {
-        // Walk current heads only: children of superseded versions were
-        // retired when their replacement published (or are pending in
-        // EBR, whose callbacks own them). Chains themselves are disposed
-        // as records.
+        // Walk current heads only: children of superseded versions ride
+        // the retire lists of the records that superseded them, so
+        // `dispose_chain` frees them with the chain (or they are pending
+        // in EBR, whose callbacks own them).
         unsafe fn walk(raw: u64) {
             let node = unsafe { BNode::from_raw(raw) };
             if let Body::Internal { len, edges, .. } = &node.body {
@@ -1393,18 +1409,23 @@ mod tests {
                 "interfering insert must not have replaced the parent"
             );
 
-            // --- B's delayed SCX.
+            // --- B's delayed SCX, with the fixed retire order: the old
+            // leaf rides the new record's retire list (attached while the
+            // record is still private) instead of being retired at commit.
             let rec = VersionRecord::alloc(new_leaf, head_b);
+            unsafe { VersionRecord::from_raw(rec) }.attach_retired(old_leaf, free_node);
             let ok = unsafe { scx(&[b_link], 0, e_b.cell() as *const AtomicU64, head_b, rec) };
             assert_eq!(
                 ok, expect_commit,
                 "per_holder={per_holder} same_slot={same_slot}: delayed SCX outcome"
             );
             if ok {
-                unsafe { g.retire_with(old_leaf as *mut u8, free_node) };
+                unsafe { VersionRecord::from_raw(rec) }.stamp(s.sync.clock());
+                vedge::trim(&g, rec, s.sync.min_active(), s.sync.clock());
                 assert!(s.contains(k_b), "committed publish must be visible");
             } else {
                 unsafe {
+                    VersionRecord::from_raw(rec).abort_retired();
                     ebr::pool::dispose_pooled(rec as *mut VersionRecord);
                     free_node(new_leaf as *mut u8);
                 }
@@ -1541,6 +1562,65 @@ mod tests {
         for _ in 0..2 {
             s.remove(7);
             s.insert(7);
+        }
+        assert!(s.debug_max_version_chain() <= 3);
+        ebr::flush();
+    }
+
+    /// Retire-order regression (the PR 7 forensics, made deterministic):
+    /// a snapshot registered at `ts` whose epoch pin is NOT held across
+    /// writer churn — the serving-lease shape, and the
+    /// `ShardedSet::snapshot` double-collect shape. Under the old order
+    /// (nodes retired at publish, while the superseded record stayed
+    /// reachable for `ts`), the churn + `ebr::flush` below recycles the
+    /// old leaf and the read panics on its poisoned length byte ("range
+    /// end index 2xx out of range"). Under the fixed order the leaf rides
+    /// the superseding record's retire list and survives until trimming
+    /// detaches that record.
+    #[test]
+    fn registered_reader_survives_node_recycling() {
+        let s = FanoutSet::new();
+        for k in 0..200u64 {
+            s.insert(k * 2);
+        }
+        // Register, then drop the pin: only the registry floor protects
+        // the records (and, post-fix, the nodes) the cut at `ts` needs.
+        let ts = {
+            let _g = ebr::pin();
+            s.snap_clock().register()
+        };
+        // Destructively churn a leaf region — permanent removes, so every
+        // post-churn version of those leaves differs from the cut at `ts`
+        // — and push EBR so anything wrongly retired is freed (poisoned
+        // in debug) or recycled into one of those newer versions before
+        // the read.
+        for k in (100..180u64).step_by(2) {
+            assert!(s.remove(k));
+            ebr::flush();
+        }
+        for _ in 0..4 {
+            drop(ebr::pin());
+            ebr::flush();
+        }
+        // Resume the reader under a fresh pin and traverse the cut.
+        {
+            let snap = s.snapshot_at(ts);
+            assert_eq!(
+                snap.range_count(0, u64::MAX),
+                200,
+                "registered snapshot must still read its cut"
+            );
+        }
+        s.snap_clock().deregister();
+        // With the registration gone, the next publish on each churned
+        // edge trims its history — and only then do the superseded leaves
+        // go to EBR. (Trimming is per-edge and happens on publish, so
+        // touch every leaf the churn grew a chain under.)
+        for _ in 0..2 {
+            for k in (100..180u64).step_by(2) {
+                s.insert(k);
+                s.remove(k);
+            }
         }
         assert!(s.debug_max_version_chain() <= 3);
         ebr::flush();

@@ -30,11 +30,13 @@
 //!
 //! Stale helpers of a recycled descriptor are harmless: every status
 //! transition CASes the full `(seq, allFrozen, state)` word, so a helper of
-//! a finished operation fails its CASes; its only unguarded side effects —
-//! re-marking `R` members and re-CASing the target field — are idempotent
-//! (marking is monotone and only reachable on the committed path; the field
-//! CAS of a finished operation always fails because child-pointer values
-//! never recur while any helper can hold them, by epoch reclamation).
+//! a finished operation fails its CASes, and `help` refuses to execute the
+//! finalize-marks or the field CAS once the status word is no longer
+//! IN_PROGRESS. The latter check carries the reclamation argument: an
+//! executor that observed IN_PROGRESS holds an epoch pin that predates the
+//! operation's decision, hence predates any retirement of the field's
+//! expected value — so a replayed field CAS can only fail, never succeed
+//! against a value recycled onto the same field.
 
 use sched::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -244,7 +246,6 @@ fn descriptors() -> &'static [CachePadded<Descriptor>] {
 /// Must be called inside an [`ebr`] guard — the record and everything the
 /// snapshot points to are protected by the epoch.
 pub fn llx<S>(header: &RecordHeader, read_fields: impl FnOnce() -> S) -> Llx<S> {
-    let marked = header.marked.load(Ordering::Acquire);
     let info = header.info.load(Ordering::Acquire);
     let tid = tag_tid(info);
     if tid < MAX_THREADS {
@@ -256,7 +257,17 @@ pub fn llx<S>(header: &RecordHeader, read_fields: impl FnOnce() -> S) -> Llx<S> 
             return Llx::Fail;
         }
     }
-    if marked {
+    // `marked` must be read AFTER `info` and the status word, never before.
+    // If the op named by `info` was observed decided (or superseded), its
+    // finalize-marks happened-before that observation, so a load here
+    // cannot miss them. Reading `marked` first opens a window — finalizer
+    // commits between the two loads — where a stale `false` combines with
+    // a stable post-freeze `info`, the re-validation below passes (nothing
+    // ever touches a dead record's info again), and the LLX hands out an
+    // `Ok` on a finalized record. An SCX built on that link then freezes
+    // and commits into a replaced, unreachable node: a lost update that
+    // the structure above us turns into a double retire.
+    if header.marked.load(Ordering::Acquire) {
         // `marked` is only ever set on an SCX's committed path, so a marked
         // record is (or is inevitably about to be) finalized.
         return Llx::Finalized;
@@ -439,9 +450,21 @@ fn help(tid: usize, seq: u64) {
         Ordering::SeqCst,
         Ordering::SeqCst,
     );
-    // Re-validate we are still on the committed path of *this* op.
+    // Re-validate we are still on the committed path of *this* op — and
+    // that the op is still UNDECIDED. The state check is load-bearing for
+    // memory safety, not just efficiency: once the op commits, its `old`
+    // field value is free to be retired, reclaimed, and (through the pool)
+    // reallocated onto the *same* field. A helper that arrived after the
+    // commit — `help` admits any caller whose seq still matches, and the
+    // frozen bit persists into the COMMITTED status word — would sail
+    // through the freeze loop on `info == tag` and replay the field CAS
+    // below arbitrarily late, succeeding against a recycled value and
+    // resurrecting a stale record on the edge. Requiring IN_PROGRESS here
+    // means every executor of the marks and the CAS holds an epoch pin
+    // that predates the op's decision, hence predates any retirement of
+    // `old` — so a replayed CAS can only fail, never false-succeed.
     let w = d.status.load(Ordering::SeqCst);
-    if word_seq(w) != seq || !word_frozen(w) {
+    if word_seq(w) != seq || !word_frozen(w) || word_state(w) != STATE_IN_PROGRESS {
         return;
     }
 
@@ -654,6 +677,102 @@ mod sched_tests {
             assert_eq!(a.value.load(Ordering::SeqCst), 11);
         })
         .assert_clean("llx/scx finalize model check");
+    }
+
+    /// The llx read order is load-bearing: `marked` must be read after
+    /// `info`. Regression for the finalized-record resurrection — a reader
+    /// whose `marked` load lands just before a finalizing SCX runs to
+    /// completion, and whose remaining loads land just after, must NOT be
+    /// handed an `Ok` link (its SCX would then freeze and commit into the
+    /// finalized record). The finalizer runs its LLXes first (flag
+    /// handshake), so with a correct LLX the two commits are mutually
+    /// exclusive under every explored schedule.
+    #[test]
+    fn no_commit_through_a_record_finalized_mid_llx() {
+        let cfg = ExploreConfig {
+            schedules: 400,
+            seed: 0x0DEA_D0A7,
+            max_steps: 200_000,
+            policy: Policy::RandomWalk,
+            stop_on_failure: true,
+        };
+        explore(&cfg, || {
+            let a = Arc::new(Cell::new(10));
+            let b = Arc::new(Cell::new(20));
+            let linked = Arc::new(AtomicBool::new(false));
+
+            let (a1, b1, l1) = (a.clone(), b.clone(), linked.clone());
+            let finalizer = sched::spawn(move || {
+                let _g = ebr::pin();
+                let (
+                    Llx::Ok {
+                        info: ia,
+                        snapshot: sa,
+                    },
+                    Llx::Ok { info: ib, .. },
+                ) = (a1.llx(), b1.llx())
+                else {
+                    l1.store(true, Ordering::SeqCst);
+                    return false;
+                };
+                l1.store(true, Ordering::SeqCst);
+                // Single shot — no retry, so a commit here dates its LLXes
+                // before anything the writer below did.
+                unsafe {
+                    scx(
+                        &[
+                            Linked {
+                                header: &a1.header,
+                                info: ia,
+                            },
+                            Linked {
+                                header: &b1.header,
+                                info: ib,
+                            },
+                        ],
+                        0b10,
+                        &a1.value,
+                        sa,
+                        sa + 1,
+                    )
+                }
+            });
+
+            let (b2, l2) = (b.clone(), linked.clone());
+            let writer = sched::spawn(move || {
+                while !l2.load(Ordering::SeqCst) {
+                    sched::yield_now();
+                }
+                let _g = ebr::pin();
+                let Llx::Ok { info, snapshot } = b2.llx() else {
+                    return false;
+                };
+                unsafe {
+                    scx(
+                        &[Linked {
+                            header: &b2.header,
+                            info,
+                        }],
+                        0,
+                        &b2.value,
+                        snapshot,
+                        snapshot + 100,
+                    )
+                }
+            });
+
+            let fin_ok = finalizer.join();
+            let wrote = writer.join();
+            assert!(
+                !(fin_ok && wrote),
+                "a write committed through a finalized record"
+            );
+            if fin_ok {
+                assert!(b.header.is_finalized());
+                assert_eq!(b.value.load(Ordering::SeqCst), 20, "finalized b mutated");
+            }
+        })
+        .assert_clean("llx/scx finalized-mid-llx model check");
     }
 
     /// Overlapping freeze sets resolve exactly one winner per round under

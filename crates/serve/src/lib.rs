@@ -1,0 +1,933 @@
+//! End-to-end serving layer over the sharded forest.
+//!
+//! Everything below is in-process plumbing — no sockets, no external
+//! crates — but it has the shape of a real server front-end:
+//!
+//! * **Bounded request rings** ([`Ring`], a Vyukov-style MPMC queue of
+//!   request-cell pointers): one per shard for point ops, plus two
+//!   (one per analytics class) in front of a dedicated analytics
+//!   worker. `try_push` on a full ring fails immediately — that *is*
+//!   the admission-control decision; the client records a rejection
+//!   and moves on instead of queueing unboundedly.
+//! * **Class fairness**: point ops never share a queue with analytics,
+//!   so a flood of `range_count`s cannot starve `insert`s
+//!   (structural isolation), and the analytics worker alternates
+//!   between the rank/select ring and the range ring in fixed quanta
+//!   so neither analytics class starves the other at saturation.
+//! * **Snapshot leases** ([`SnapshotLease`]): the analytics worker
+//!   registers once on the forest clock, serves every query of the
+//!   lease period from one [`ShardedSet::snapshot_at`] cut, and
+//!   *renews* (deregister + re-register) when the lease expires. A
+//!   reader that never voluntarily unregisters therefore still only
+//!   pins one lease period of version history — the version lists
+//!   under it stay bounded no matter how long it runs.
+//! * **Pipelined clients**: each client keeps a window of outstanding
+//!   request cells in flight, reaping completions out of order, so a
+//!   single client thread measures the server under concurrency
+//!   rather than lock-step request/response.
+//!
+//! This crate is harness-tier (like `bench` and `workloads`): it uses
+//! `std` atomics and `std::time` directly and is not part of the
+//! sched-instrumented protocol core.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use shard::{Partition, ShardMember, ShardedSet};
+
+// ---------------------------------------------------------------------------
+// Bounded MPMC ring
+// ---------------------------------------------------------------------------
+
+/// Admission refused: the ring was full at `try_push` time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull;
+
+#[repr(align(64))]
+struct Slot {
+    seq: AtomicU64,
+    val: AtomicU64,
+}
+
+/// A bounded MPMC queue of `u64` values (request-cell addresses),
+/// Vyukov-style: each slot carries a sequence number that encodes
+/// whether it is free for the producer at a given ticket or holds a
+/// value for the consumer. Capacity is rounded up to a power of two.
+///
+/// `try_push` never blocks and never spuriously fails when space is
+/// available under quiescence; a `RingFull` result is the admission
+/// controller's backpressure signal.
+pub struct Ring {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+    tail: AtomicU64,
+}
+
+impl Ring {
+    /// A ring with capacity `cap.next_power_of_two()` (min 2).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i as u64),
+                val: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            slots,
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+
+    /// Usable capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueue, or fail immediately if the ring is full.
+    pub fn try_push(&self, v: u64) -> Result<(), RingFull> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as i64 - pos as i64;
+            if dif == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        slot.val.store(v, Ordering::Relaxed);
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if dif < 0 {
+                return Err(RingFull);
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeue, or `None` if the ring is empty.
+    pub fn try_pop(&self) -> Option<u64> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as i64 - (pos + 1) as i64;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let v = slot.val.load(Ordering::Relaxed);
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(v);
+                    }
+                    Err(cur) => pos = cur,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Query class, for routing and per-class accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// `insert` / `remove` / `contains` — routed to the owning shard.
+    Point = 0,
+    /// `rank` / `select` — order statistics under the leased snapshot.
+    Stat = 1,
+    /// `range_count` — range analytics under the leased snapshot.
+    Range = 2,
+}
+
+pub const NUM_CLASSES: usize = 3;
+
+const OP_INSERT: u64 = 0;
+const OP_REMOVE: u64 = 1;
+const OP_CONTAINS: u64 = 2;
+const OP_RANK: u64 = 3;
+const OP_SELECT: u64 = 4;
+const OP_RANGE_COUNT: u64 = 5;
+
+const ST_PENDING: u64 = 1;
+const ST_DONE: u64 = 2;
+
+/// One in-flight request. The client owns the cell (boxed, stable
+/// address) and hands its address through a [`Ring`]; the worker fills
+/// `resp` and flips `state` to done, which releases the cell back to
+/// the client for reuse. The ring's sequence handshake orders the
+/// client's `op`/`a`/`b` writes before the worker's reads; `state`
+/// (release store / acquire load) orders `resp` back.
+pub struct ReqCell {
+    op: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    resp: AtomicU64,
+    state: AtomicU64,
+}
+
+impl ReqCell {
+    fn new() -> Self {
+        ReqCell {
+            op: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            resp: AtomicU64::new(0),
+            state: AtomicU64::new(0),
+        }
+    }
+}
+
+fn exec_point<S: ShardMember>(set: &ShardedSet<S>, cell: &ReqCell) {
+    let op = cell.op.load(Ordering::Relaxed);
+    let a = cell.a.load(Ordering::Relaxed);
+    let r = match op {
+        OP_INSERT => set.insert(a) as u64,
+        OP_REMOVE => set.remove(a) as u64,
+        _ => set.contains(a) as u64,
+    };
+    cell.resp.store(r, Ordering::Relaxed);
+    cell.state.store(ST_DONE, Ordering::Release);
+}
+
+fn exec_snap<S: ShardMember>(snap: &shard::ShardedSnapshot<'_, S>, cell: &ReqCell) {
+    let op = cell.op.load(Ordering::Relaxed);
+    let a = cell.a.load(Ordering::Relaxed);
+    let b = cell.b.load(Ordering::Relaxed);
+    let r = match op {
+        OP_RANK => snap.rank(a),
+        OP_SELECT => snap.select(a).unwrap_or(u64::MAX),
+        _ => snap.range_count(a, b),
+    };
+    cell.resp.store(r, Ordering::Relaxed);
+    cell.state.store(ST_DONE, Ordering::Release);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lease
+// ---------------------------------------------------------------------------
+
+/// A bounded-lifetime registration on the forest's snapshot clock —
+/// the serving layer's answer to "an analytics reader that never
+/// unregisters pins version lists forever".
+///
+/// The holder registers once ([`SnapshotLease::take`]) and serves
+/// reads from cuts at [`SnapshotLease::ts`] (via
+/// [`ShardedSet::snapshot_at`]). When the lease period elapses,
+/// [`SnapshotLease::renew_if_expired`] deregisters and re-registers,
+/// moving the pinned timestamp forward so trimming can reclaim the
+/// history behind it. Even a reader that *never* gives up its lease
+/// only ever pins one lease period of versions.
+///
+/// Renewal order matters: the registry only records a thread's
+/// timestamp on the outermost registration, so the old registration
+/// must be dropped *before* the new one is taken (deregister, then
+/// register) — nesting them would silently keep pinning the old
+/// timestamp. Registrations are per-thread state: a lease must be
+/// taken, renewed, and dropped on one thread (this type is `!Send`).
+pub struct SnapshotLease<'a, S: ShardMember> {
+    set: &'a ShardedSet<S>,
+    ts: u64,
+    taken: Instant,
+    period: Duration,
+    renewals: u64,
+    /// Registrations live in per-thread registry slots.
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+impl<'a, S: ShardMember> SnapshotLease<'a, S> {
+    /// Register on the forest clock and start the lease period.
+    pub fn take(set: &'a ShardedSet<S>, period: Duration) -> Self {
+        let ts = set.snap_clock().register();
+        SnapshotLease {
+            set,
+            ts,
+            taken: Instant::now(),
+            period,
+            renewals: 0,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// The leased timestamp — pass to [`ShardedSet::snapshot_at`].
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// True once the lease period has elapsed.
+    pub fn expired(&self) -> bool {
+        self.taken.elapsed() >= self.period
+    }
+
+    /// How many times this lease has been renewed.
+    pub fn renewals(&self) -> u64 {
+        self.renewals
+    }
+
+    /// Deregister and re-register, advancing the pinned timestamp.
+    /// Any snapshot taken at the old [`SnapshotLease::ts`] must be
+    /// dropped first — the borrow checker can't see that coupling, so
+    /// the serving loop structures itself around it.
+    pub fn renew(&mut self) {
+        self.set.snap_clock().deregister();
+        self.ts = self.set.snap_clock().register();
+        self.taken = Instant::now();
+        self.renewals += 1;
+    }
+
+    /// [`SnapshotLease::renew`] iff expired; returns whether it did.
+    pub fn renew_if_expired(&mut self) -> bool {
+        if self.expired() {
+            self.renew();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<S: ShardMember> Drop for SnapshotLease<'_, S> {
+    fn drop(&mut self) {
+        self.set.snap_clock().deregister();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-cap pick from PR 9 occupancy data
+// ---------------------------------------------------------------------------
+
+/// Pick a flat-combining `batch_cap` for a shard from the writer count
+/// and the measured combining occupancy (PR 9's `fc_sweep` signal,
+/// [`cbat_core` `combining_occupancy`]: average combined batch ÷ cap).
+///
+/// Seeded from `BENCH_PR10.json`'s `fc_gain` section (PR 9 data): with
+/// one writer per shard combining is pure overhead (best cap 1, the
+/// no-combining degenerate case); at 2 writers small batches win
+/// (cap 8, +2.8% over no combining); at 4+ writers large batches win
+/// (cap 32, +26%) — but only when the sweep shows batches actually
+/// filling. Low occupancy (< 0.4) at high caps means waiting for
+/// combiners that never materialize, so we fall back to cap 8.
+pub fn pick_batch_cap(writers_per_shard: usize, occupancy: f64) -> usize {
+    if writers_per_shard <= 1 {
+        1
+    } else if writers_per_shard >= 4 && occupancy >= 0.4 {
+        32
+    } else {
+        8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration / report
+// ---------------------------------------------------------------------------
+
+/// Per-mille request mix across classes (must sum to ≤ 1000; the
+/// remainder goes to `Point`).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassMix {
+    /// ‰ of requests that are rank/select.
+    pub stat_pm: u32,
+    /// ‰ of requests that are range_count.
+    pub range_pm: u32,
+}
+
+/// Serving-run parameters. All sizes are deliberately small-host
+/// friendly; the bench steps `offered_rps` to find the saturation
+/// knee.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Client threads, each pipelining `window` outstanding requests.
+    pub clients: usize,
+    /// Outstanding requests per client (pipeline depth).
+    pub window: usize,
+    /// Capacity of each per-shard point ring.
+    pub point_queue_cap: usize,
+    /// Capacity of each analytics ring (stat, range).
+    pub analytics_queue_cap: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Total offered load across clients, requests/sec. 0 = open
+    /// throttle (submit as fast as the window allows).
+    pub offered_rps: u64,
+    /// Request mix.
+    pub mix: ClassMix,
+    /// Keys are drawn uniformly from `[0, max_key)`.
+    pub max_key: u64,
+    /// Snapshot lease period for the analytics worker.
+    pub lease: Duration,
+    /// Analytics fairness quantum: requests served from one class's
+    /// ring before yielding to the other.
+    pub quantum: usize,
+    /// Width of range_count queries.
+    pub range_span: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            clients: 2,
+            window: 16,
+            point_queue_cap: 64,
+            analytics_queue_cap: 64,
+            duration: Duration::from_millis(200),
+            offered_rps: 0,
+            mix: ClassMix {
+                stat_pm: 150,
+                range_pm: 50,
+            },
+            max_key: 1 << 16,
+            lease: Duration::from_millis(10),
+            quantum: 8,
+            range_span: 1 << 10,
+            seed: 0x5E1F_5E1F,
+        }
+    }
+}
+
+/// Per-class outcome counters plus raw latency samples (nanoseconds,
+/// unsorted — callers sort and take percentiles).
+#[derive(Debug, Default, Clone)]
+pub struct ClassStats {
+    /// Requests admitted into a ring.
+    pub submitted: u64,
+    /// Requests completed (response observed by the client).
+    pub completed: u64,
+    /// Requests refused admission (ring full).
+    pub rejected: u64,
+    /// End-to-end latency samples, ns. Under pacing the clock starts
+    /// at the request's *scheduled* arrival, not its actual submit, so
+    /// backpressure shows up as latency instead of being hidden
+    /// (no coordinated omission).
+    pub samples: Vec<u64>,
+}
+
+/// What a serving run measured.
+#[derive(Debug, Default, Clone)]
+pub struct ServeReport {
+    /// Wall-clock seconds actually spent serving.
+    pub secs: f64,
+    /// Indexed by `Class as usize`.
+    pub classes: [ClassStats; NUM_CLASSES],
+    /// Lease renewals performed by the analytics worker.
+    pub lease_renewals: u64,
+}
+
+impl ServeReport {
+    /// Total completed requests across classes.
+    pub fn completed(&self) -> u64 {
+        self.classes.iter().map(|c| c.completed).sum()
+    }
+
+    /// Total rejected requests across classes.
+    pub fn rejected(&self) -> u64 {
+        self.classes.iter().map(|c| c.rejected).sum()
+    }
+
+    /// Completed requests per second.
+    pub fn rps(&self) -> f64 {
+        self.completed() as f64 / self.secs.max(1e-9)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The serving loop
+// ---------------------------------------------------------------------------
+
+struct Shared<'a, S: ShardMember> {
+    set: &'a ShardedSet<S>,
+    point_rings: Vec<Ring>,
+    stat_ring: Ring,
+    range_ring: Ring,
+    stop: AtomicBool,
+    /// Clients still submitting; workers drain-and-exit only after
+    /// this hits zero (a client's last push happens-before its
+    /// decrement, so one final drain after seeing zero is complete).
+    submitters: AtomicUsize,
+    lease_renewals: AtomicU64,
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn point_worker<S: ShardMember>(sh: &Shared<'_, S>, idx: usize) {
+    let ring = &sh.point_rings[idx];
+    loop {
+        if let Some(p) = ring.try_pop() {
+            // SAFETY: ring values are addresses of ReqCells boxed by a
+            // client that keeps them alive (and does not reuse them)
+            // until it observes ST_DONE, which we store last.
+            exec_point(sh.set, unsafe { &*(p as *const ReqCell) });
+            continue;
+        }
+        if sh.stop.load(Ordering::Acquire) && sh.submitters.load(Ordering::Acquire) == 0 {
+            while let Some(p) = ring.try_pop() {
+                // SAFETY: as above.
+                exec_point(sh.set, unsafe { &*(p as *const ReqCell) });
+            }
+            return;
+        }
+        std::hint::spin_loop();
+        std::thread::yield_now();
+    }
+}
+
+fn analytics_worker<S: ShardMember>(sh: &Shared<'_, S>, lease_period: Duration, quantum: usize) {
+    let mut lease = SnapshotLease::take(sh.set, lease_period);
+    'run: loop {
+        // One cut per lease period amortizes the collect loop across
+        // every analytics request served under it.
+        let snap = sh.set.snapshot_at(lease.ts());
+        loop {
+            let mut served = 0usize;
+            for ring in [&sh.stat_ring, &sh.range_ring] {
+                for _ in 0..quantum.max(1) {
+                    match ring.try_pop() {
+                        // SAFETY: see point_worker — cells outlive
+                        // their in-flight window.
+                        Some(p) => {
+                            exec_snap(&snap, unsafe { &*(p as *const ReqCell) });
+                            served += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if served == 0 {
+                if sh.stop.load(Ordering::Acquire) && sh.submitters.load(Ordering::Acquire) == 0 {
+                    for ring in [&sh.stat_ring, &sh.range_ring] {
+                        while let Some(p) = ring.try_pop() {
+                            // SAFETY: as above.
+                            exec_snap(&snap, unsafe { &*(p as *const ReqCell) });
+                        }
+                    }
+                    break 'run;
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            if lease.expired() {
+                break; // drop `snap`, then renew
+            }
+        }
+        drop(snap);
+        lease.renew();
+    }
+    sh.lease_renewals.store(lease.renewals(), Ordering::Relaxed);
+    drop(lease);
+}
+
+struct ClientOut {
+    stats: [ClassStats; NUM_CLASSES],
+}
+
+fn client_loop<S: ShardMember>(sh: &Shared<'_, S>, cfg: &ServeConfig, id: usize) -> ClientOut {
+    let mut rng = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1));
+    let cells: Vec<Box<ReqCell>> = (0..cfg.window).map(|_| Box::new(ReqCell::new())).collect();
+    // Client-private per-slot bookkeeping: class + latency clock start.
+    let mut in_flight: Vec<Option<(Class, Instant)>> = vec![None; cfg.window];
+    let mut stats: [ClassStats; NUM_CLASSES] = Default::default();
+
+    // Open-loop pacing: each client owns a 1/clients slice of the
+    // offered load and stamps latency from the scheduled arrival.
+    let period = 1_000_000_000u64
+        .saturating_mul(cfg.clients as u64)
+        .checked_div(cfg.offered_rps)
+        .map_or(Duration::ZERO, Duration::from_nanos);
+    let start = Instant::now();
+    let mut next_arrival = start;
+
+    let shards = sh.set.num_shards();
+    let partition = sh.set.partition();
+
+    while !sh.stop.load(Ordering::Acquire) {
+        // Reap completions.
+        let mut free = None;
+        for (i, slot) in in_flight.iter_mut().enumerate() {
+            match slot {
+                Some((class, at)) => {
+                    if cells[i].state.load(Ordering::Acquire) == ST_DONE {
+                        let st = &mut stats[*class as usize];
+                        st.completed += 1;
+                        st.samples.push(at.elapsed().as_nanos() as u64);
+                        *slot = None;
+                        free = Some(i);
+                    }
+                }
+                None => free = Some(i),
+            }
+        }
+        let Some(i) = free else {
+            // Window full: give the workers the core (matters on
+            // small hosts where everyone shares one CPU).
+            std::hint::spin_loop();
+            std::thread::yield_now();
+            continue;
+        };
+
+        // Pace.
+        if !period.is_zero() {
+            let now = Instant::now();
+            if now < next_arrival {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            }
+        }
+        let arrival = if period.is_zero() {
+            Instant::now()
+        } else {
+            let a = next_arrival;
+            next_arrival += period;
+            a
+        };
+
+        // Generate.
+        let r = xorshift(&mut rng);
+        let pm = (r >> 32) % 1000;
+        let key = r % cfg.max_key;
+        let (class, op, a, b) = if pm < cfg.mix.stat_pm as u64 {
+            if r & 1 == 0 {
+                (Class::Stat, OP_RANK, key, 0)
+            } else {
+                (Class::Stat, OP_SELECT, key % (cfg.max_key / 2).max(1), 0)
+            }
+        } else if pm < (cfg.mix.stat_pm + cfg.mix.range_pm) as u64 {
+            (
+                Class::Range,
+                OP_RANGE_COUNT,
+                key,
+                key.saturating_add(cfg.range_span),
+            )
+        } else {
+            let op = match r % 10 {
+                0..=3 => OP_INSERT,
+                4..=6 => OP_REMOVE,
+                _ => OP_CONTAINS,
+            };
+            (Class::Point, op, key, 0)
+        };
+
+        let cell = &cells[i];
+        cell.op.store(op, Ordering::Relaxed);
+        cell.a.store(a, Ordering::Relaxed);
+        cell.b.store(b, Ordering::Relaxed);
+        cell.state.store(ST_PENDING, Ordering::Relaxed);
+        let addr = (&**cell) as *const ReqCell as u64;
+
+        let ring = match class {
+            Class::Point => &sh.point_rings[partition.shard_of(key, shards)],
+            Class::Stat => &sh.stat_ring,
+            Class::Range => &sh.range_ring,
+        };
+        match ring.try_push(addr) {
+            Ok(()) => {
+                stats[class as usize].submitted += 1;
+                in_flight[i] = Some((class, arrival));
+            }
+            Err(RingFull) => {
+                // Admission refused: record and move on. The cell was
+                // never published, so it is immediately reusable.
+                stats[class as usize].rejected += 1;
+                cell.state.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Done submitting; let workers drain, then reap the stragglers.
+    sh.submitters.fetch_sub(1, Ordering::Release);
+    for (i, slot) in in_flight.iter_mut().enumerate() {
+        if let Some((class, at)) = slot {
+            while cells[i].state.load(Ordering::Acquire) != ST_DONE {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            let st = &mut stats[*class as usize];
+            st.completed += 1;
+            st.samples.push(at.elapsed().as_nanos() as u64);
+            *slot = None;
+        }
+    }
+    ClientOut { stats }
+}
+
+/// Run the serving loop: per-shard point workers + one analytics
+/// worker + `cfg.clients` pipelined clients, for `cfg.duration`.
+pub fn run_serve<S: ShardMember>(set: &ShardedSet<S>, cfg: &ServeConfig) -> ServeReport {
+    assert!(cfg.clients >= 1 && cfg.window >= 1);
+    let sh = Shared {
+        set,
+        point_rings: (0..set.num_shards())
+            .map(|_| Ring::new(cfg.point_queue_cap))
+            .collect(),
+        stat_ring: Ring::new(cfg.analytics_queue_cap),
+        range_ring: Ring::new(cfg.analytics_queue_cap),
+        stop: AtomicBool::new(false),
+        submitters: AtomicUsize::new(cfg.clients),
+        lease_renewals: AtomicU64::new(0),
+    };
+    let start = Instant::now();
+    let outs: Vec<ClientOut> = std::thread::scope(|scope| {
+        for i in 0..set.num_shards() {
+            let sh = &sh;
+            scope.spawn(move || point_worker(sh, i));
+        }
+        {
+            let sh = &sh;
+            scope.spawn(move || analytics_worker(sh, cfg.lease, cfg.quantum));
+        }
+        let clients: Vec<_> = (0..cfg.clients)
+            .map(|id| {
+                let sh = &sh;
+                scope.spawn(move || client_loop(sh, cfg, id))
+            })
+            .collect();
+        std::thread::sleep(cfg.duration);
+        sh.stop.store(true, Ordering::Release);
+        clients.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+
+    let mut report = ServeReport {
+        secs,
+        ..Default::default()
+    };
+    for out in outs {
+        for (acc, st) in report.classes.iter_mut().zip(out.stats) {
+            acc.submitted += st.submitted;
+            acc.completed += st.completed;
+            acc.rejected += st.rejected;
+            acc.samples.extend(st.samples);
+        }
+    }
+    report.lease_renewals = sh.lease_renewals.load(Ordering::Relaxed);
+    report
+}
+
+/// A ready-to-serve forest: `shards` fanout shards pre-loaded with
+/// `prefill` keys evenly spread over `[0, max_key)`.
+pub fn build_forest(shards: usize, prefill: u64, max_key: u64) -> ShardedSet<fanout::FanoutSet> {
+    let set = ShardedSet::<fanout::FanoutSet>::new(shards, Partition::Hash);
+    let step = (max_key / prefill.max(1)).max(1);
+    let mut k = 0;
+    while k < max_key {
+        set.insert(k);
+        k += step;
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_admission_and_backpressure() {
+        let r = Ring::new(4);
+        assert_eq!(r.capacity(), 4);
+        for v in 1..=4 {
+            assert_eq!(r.try_push(v), Ok(()));
+        }
+        // Full ring refuses admission without blocking.
+        assert_eq!(r.try_push(5), Err(RingFull));
+        assert_eq!(r.try_pop(), Some(1));
+        // Space freed by the consumer is immediately admittable.
+        assert_eq!(r.try_push(5), Ok(()));
+        for v in 2..=5 {
+            assert_eq!(r.try_pop(), Some(v));
+        }
+        assert_eq!(r.try_pop(), None);
+    }
+
+    #[test]
+    fn ring_wraps_many_times() {
+        let r = Ring::new(2);
+        for v in 0..1000u64 {
+            assert_eq!(r.try_push(v), Ok(()));
+            assert_eq!(r.try_pop(), Some(v));
+        }
+        assert_eq!(r.try_pop(), None);
+    }
+
+    #[test]
+    fn pick_batch_cap_follows_pr9_sweep() {
+        // 1 writer: combining is pure overhead.
+        assert_eq!(pick_batch_cap(1, 1.0), 1);
+        assert_eq!(pick_batch_cap(0, 0.0), 1);
+        // 2 writers: small batches.
+        assert_eq!(pick_batch_cap(2, 0.9), 8);
+        // 4+ writers with batches actually filling: go big.
+        assert_eq!(pick_batch_cap(4, 0.6), 32);
+        assert_eq!(pick_batch_cap(8, 0.4), 32);
+        // 4+ writers but batches never fill: big caps just wait.
+        assert_eq!(pick_batch_cap(8, 0.1), 8);
+    }
+
+    #[test]
+    fn lease_renewal_bounds_version_history() {
+        // The satellite-4 scenario, single-threaded for determinism: an
+        // analytics reader that never voluntarily unregisters, only
+        // renews. Each lease period pins only its own churn; the next
+        // publish after renewal trims everything behind the new ts.
+        let set = build_forest(2, 128, 128);
+        assert_eq!(set.len(), 128);
+        let churn = |hot: u64| {
+            set.remove(hot);
+            set.insert(hot);
+        };
+        let max_chain = |set: &ShardedSet<fanout::FanoutSet>| {
+            set.shards()
+                .map(|s| s.debug_max_version_chain())
+                .max()
+                .unwrap()
+        };
+
+        let mut lease = SnapshotLease::take(&set, Duration::from_secs(3600));
+        for round in 0..20 {
+            for _ in 0..25 {
+                churn(7);
+            }
+            // Cuts at the leased ts stay valid for the whole period.
+            let snap = set.snapshot_at(lease.ts());
+            assert_eq!(snap.len(), 128, "leased cut must stay readable");
+            drop(snap);
+            lease.renew();
+            // The first publish after renewal trims behind the new ts.
+            churn(7);
+            let chain = max_chain(&set);
+            assert!(
+                chain <= 4,
+                "round {round}: renewal failed to unpin history (chain {chain})"
+            );
+        }
+        assert_eq!(lease.renewals(), 20);
+        drop(lease);
+
+        // Control: the same churn under one never-renewed registration
+        // pins every version — exactly what the lease policy prevents.
+        let _ts = set.snap_clock().register();
+        for _ in 0..20 {
+            for _ in 0..25 {
+                churn(7);
+            }
+        }
+        let pinned = max_chain(&set);
+        assert!(
+            pinned > 100,
+            "expected an unrenewed reader to pin history, chain {pinned}"
+        );
+        set.snap_clock().deregister();
+        churn(7);
+        assert!(max_chain(&set) <= 4);
+        ebr::flush();
+    }
+
+    #[test]
+    fn serve_completes_all_classes_at_saturation() {
+        // Open throttle + tiny analytics rings: saturation by design.
+        // Fairness claim: every class still completes work.
+        let set = build_forest(2, 4096, 1 << 14);
+        let cfg = ServeConfig {
+            clients: 2,
+            window: 8,
+            point_queue_cap: 8,
+            analytics_queue_cap: 8,
+            duration: Duration::from_millis(250),
+            offered_rps: 0,
+            mix: ClassMix {
+                stat_pm: 300,
+                range_pm: 200,
+            },
+            max_key: 1 << 14,
+            lease: Duration::from_millis(5),
+            quantum: 4,
+            range_span: 1 << 9,
+            seed: 42,
+        };
+        let rep = run_serve(&set, &cfg);
+        for (i, c) in rep.classes.iter().enumerate() {
+            assert!(c.completed > 0, "class {i} starved: {c:?}");
+            assert_eq!(
+                c.submitted, c.completed,
+                "class {i}: admitted requests must all complete"
+            );
+            assert_eq!(c.completed as usize, c.samples.len());
+        }
+        assert!(rep.lease_renewals > 0, "lease never renewed");
+        ebr::flush();
+    }
+
+    #[test]
+    fn serve_backpressure_rejects_then_recovers() {
+        // One client hammering two slots' worth of queue: rejections
+        // must show up, yet everything admitted completes.
+        let set = build_forest(1, 256, 1 << 10);
+        let cfg = ServeConfig {
+            clients: 2,
+            window: 32,
+            point_queue_cap: 2,
+            analytics_queue_cap: 2,
+            duration: Duration::from_millis(200),
+            offered_rps: 0,
+            mix: ClassMix {
+                stat_pm: 400,
+                range_pm: 300,
+            },
+            max_key: 1 << 10,
+            lease: Duration::from_millis(5),
+            quantum: 2,
+            range_span: 64,
+            seed: 7,
+        };
+        let rep = run_serve(&set, &cfg);
+        assert!(rep.completed() > 0);
+        for (i, c) in rep.classes.iter().enumerate() {
+            assert_eq!(c.submitted, c.completed, "class {i} lost requests");
+        }
+        ebr::flush();
+    }
+
+    #[test]
+    fn serve_paced_load_reports_latencies() {
+        let set = build_forest(2, 1024, 1 << 12);
+        let cfg = ServeConfig {
+            offered_rps: 20_000,
+            duration: Duration::from_millis(150),
+            ..ServeConfig::default()
+        };
+        let rep = run_serve(&set, &cfg);
+        assert!(rep.completed() > 0);
+        assert!(rep.rps() > 0.0);
+        let point = &rep.classes[Class::Point as usize];
+        assert!(!point.samples.is_empty());
+        assert!(point.samples.iter().all(|&ns| ns > 0));
+        ebr::flush();
+    }
+}

@@ -451,7 +451,38 @@ impl<S: ShardMember> ShardedSet<S> {
     /// during the (short) collection window.
     pub fn snapshot(&self) -> ShardedSnapshot<'_, S> {
         let ts = self.sync.register();
-        let snaps = loop {
+        let snaps = self.collect_at(ts);
+        ShardedSnapshot {
+            set: self,
+            snaps,
+            owns_registration: true,
+        }
+    }
+
+    /// One consistent cut at a timestamp the **caller** registered on
+    /// this forest's clock ([`ShardedSet::snap_clock`]) — the serving
+    /// layer's snapshot-lease shape: the lease holder registers once,
+    /// reads many cuts at its timestamp, and deregisters on renewal, so
+    /// a long-lived analytics reader bounds how much version history it
+    /// pins instead of pinning forever.
+    ///
+    /// The registration must stay live (same thread) for the returned
+    /// snapshot's whole lifetime: it is what bounds version-chain
+    /// trimming below `ts`. Dropping this snapshot does NOT deregister.
+    /// For current-root members (`TIMESTAMP_EXACT == false`) the cut is
+    /// double-collected at "now" — still one consistent forest cut, just
+    /// not pinned to `ts`.
+    pub fn snapshot_at(&self, ts: u64) -> ShardedSnapshot<'_, S> {
+        let snaps = self.collect_at(ts);
+        ShardedSnapshot {
+            set: self,
+            snaps,
+            owns_registration: false,
+        }
+    }
+
+    fn collect_at(&self, ts: u64) -> Vec<S::Snap<'_>> {
+        loop {
             let snaps: Vec<S::Snap<'_>> = self.shards().map(|s| s.snapshot_at(ts)).collect();
             if S::TIMESTAMP_EXACT
                 || self
@@ -461,8 +492,7 @@ impl<S: ShardMember> ShardedSet<S> {
             {
                 break snaps;
             }
-        };
-        ShardedSnapshot { set: self, snaps }
+        }
     }
 
     /// Keys ≤ `k`, from one consistent cut.
@@ -487,17 +517,23 @@ impl<S: ShardMember> ShardedSet<S> {
 }
 
 /// A consistent cut of the whole forest: one member snapshot per shard,
-/// all current at the same instant (see [`ShardedSet::snapshot`]). Holds
-/// the clock registration that keeps every shard's versions readable;
-/// dropped, it releases the registration so trimming may proceed.
+/// all current at the same instant (see [`ShardedSet::snapshot`]). A cut
+/// taken by [`ShardedSet::snapshot`] owns the clock registration that
+/// keeps every shard's versions readable and releases it on drop; a cut
+/// taken by [`ShardedSet::snapshot_at`] reads under the **caller's**
+/// registration (the lease shape) and releases nothing.
 pub struct ShardedSnapshot<'a, S: ShardMember> {
     set: &'a ShardedSet<S>,
     snaps: Vec<S::Snap<'a>>,
+    /// True when this snapshot registered itself (and must deregister).
+    owns_registration: bool,
 }
 
 impl<S: ShardMember> Drop for ShardedSnapshot<'_, S> {
     fn drop(&mut self) {
-        self.set.sync.deregister();
+        if self.owns_registration {
+            self.set.sync.deregister();
+        }
     }
 }
 

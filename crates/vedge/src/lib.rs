@@ -53,12 +53,51 @@ use llxscx::{Llx, RecordHeader};
 /// `prev` is atomic because [`trim`] detaches chain suffixes with CAS;
 /// the detaching CAS doubles as an ownership transfer, so every record is
 /// retired by exactly one thread.
+///
+/// `retire` heads a list of [`RetireCell`]s naming the nodes this record's
+/// publication *superseded* — the old region that stays reachable through
+/// `prev` until trimming detaches it. See the module-level "retire order"
+/// notes on [`trim`].
 pub struct VersionRecord {
     child: u64,
     /// 0 = not yet stamped; stamped lazily from the structure's clock.
     ts: AtomicU64,
     /// Older version of the same edge (0 = end of chain).
     prev: AtomicU64,
+    /// Head of this record's [`RetireCell`] list (0 = none). Written only
+    /// while the record is still private (pre-publish); taken exactly once
+    /// (swap to 0) by whoever detaches `prev` — trim, abort, or teardown.
+    retire: AtomicU64,
+}
+
+/// One deferred node retirement, owned by the [`VersionRecord`] whose
+/// publication superseded the node.
+///
+/// The PR 7 forensics bug was the *order* of retirement: `fanout` retired
+/// replaced nodes the moment its publish committed, while the superseded
+/// version record — whose `child` still points at them — stayed reachable
+/// for any registered snapshot. A reader holding a clock registration but
+/// not a continuous epoch pin (the `FanoutSet::snapshot` /
+/// `ShardedSet::snapshot` shape) could then pin *after* the grace period
+/// and walk the surviving record into a recycled, poison-filled node.
+///
+/// `RetireCell` restores the \[33\] discipline — a node is retired only
+/// once every version record covering it is detached: the writer attaches
+/// the nodes its publish supersedes to the **new** record before the
+/// publish, and they are handed to EBR only when that record's `prev`
+/// chain is detached (the same CAS-claimed instant the old records
+/// themselves are retired).
+struct RetireCell {
+    /// The superseded node, opaque to this crate.
+    node: u64,
+    /// How to free `node` once its grace period has passed.
+    // SAFETY: the pointer type is unsafe-to-call by construction; every
+    // call site (retire_covered / free_covered_now) documents why the
+    // node is dead when it fires.
+    free_fn: unsafe fn(*mut u8),
+    /// Next cell in the list (0 = end). Plain: the list is built while the
+    /// owning record is private and taken whole by one thread.
+    next: u64,
 }
 
 impl VersionRecord {
@@ -68,7 +107,93 @@ impl VersionRecord {
             child,
             ts: AtomicU64::new(0),
             prev: AtomicU64::new(prev),
+            retire: AtomicU64::new(0),
         }) as u64
+    }
+
+    /// Attach a superseded node to this record's retire list. The node is
+    /// handed to EBR only when this record's `prev` chain is detached
+    /// ([`trim`]), or freed directly when the whole chain is torn down
+    /// ([`dispose_chain`]).
+    ///
+    /// Call **before** publishing the record: the list is single-writer
+    /// and the publish's release ordering is what makes it visible.
+    // SAFETY: `free_fn` is only invoked once the node is provably
+    // unreachable (record detached + grace period, or chain teardown).
+    pub fn attach_retired(&self, node: u64, free_fn: unsafe fn(*mut u8)) {
+        let head = self.retire.load(Ordering::SeqCst);
+        let cell = ebr::pool::alloc_pooled(RetireCell {
+            node,
+            free_fn,
+            next: head,
+        }) as u64;
+        self.retire.store(cell, Ordering::SeqCst);
+    }
+
+    /// Drop this record's retire list **without touching the nodes** — the
+    /// publish never committed, so the "superseded" nodes are still live.
+    ///
+    /// # Safety
+    /// The record must be unpublished and exclusively owned by the caller
+    /// (the SCX-abort path, right before `dispose_pooled`ing the record).
+    pub unsafe fn abort_retired(&self) {
+        let mut cell = self.retire.swap(0, Ordering::SeqCst);
+        while cell != 0 {
+            // SAFETY: the record (and hence its private cell list) is
+            // exclusively ours per the fn contract; each cell came from
+            // `alloc_pooled` and is disposed exactly once here.
+            let next = unsafe { (*(cell as *const RetireCell)).next };
+            // SAFETY: as above — private, pool-allocated, disposed once.
+            unsafe { ebr::pool::dispose_pooled(cell as *mut RetireCell) };
+            cell = next;
+        }
+    }
+
+    /// Take this record's retire list and hand every superseded node to
+    /// EBR. Called by [`trim`] at the instant the record's `prev` chain is
+    /// detached: the old region the nodes live in just became unreachable,
+    /// and the grace period covers any reader still walking it.
+    ///
+    /// The swap makes the hand-off exactly-once even if the record is
+    /// visited again (e.g. as a claimed suffix of a later trim).
+    fn retire_covered(&self, guard: &Guard) {
+        let mut cell = self.retire.swap(0, Ordering::SeqCst);
+        while cell != 0 {
+            // SAFETY: the swap above transferred the whole list to us;
+            // cells are live pool allocations until disposed below.
+            let c = unsafe { &*(cell as *const RetireCell) };
+            let (node, free_fn, next) = (c.node, c.free_fn, c.next);
+            // SAFETY: `node` was attached by the publisher that superseded
+            // it and is now unreachable from the chain (prev detached);
+            // retiring defers `free_fn` past every current pin.
+            unsafe { guard.retire_with(node as *mut u8, free_fn) };
+            // SAFETY: the cell is exclusively ours (swap) and no longer
+            // referenced; dispose it back to the pool.
+            unsafe { ebr::pool::dispose_pooled(cell as *mut RetireCell) };
+            cell = next;
+        }
+    }
+
+    /// Take this record's retire list and free every superseded node *now*
+    /// (no grace period).
+    ///
+    /// # Safety
+    /// Only valid from [`dispose_chain`]'s context: the chain is
+    /// unreachable and its grace period — if it ever needed one — has
+    /// already passed.
+    unsafe fn free_covered_now(&self) {
+        let mut cell = self.retire.swap(0, Ordering::SeqCst);
+        while cell != 0 {
+            // SAFETY: swap transferred the list; cells live until disposed.
+            let c = unsafe { &*(cell as *const RetireCell) };
+            let (node, free_fn, next) = (c.node, c.free_fn, c.next);
+            // SAFETY: the chain owning this list is unreachable (fn
+            // contract), so the superseded node has no readers left.
+            unsafe { free_fn(node as *mut u8) };
+            // SAFETY: exclusively ours; disposed exactly once.
+            unsafe { ebr::pool::dispose_pooled(cell as *mut RetireCell) };
+            cell = next;
+        }
     }
 
     /// # Safety
@@ -238,9 +363,11 @@ impl std::ops::Deref for PubEdge {
     }
 }
 
-/// Dispose an entire version chain (records only — never the children old
-/// versions point to, which may long be reclaimed) straight back to the
-/// pool. `head` may be 0.
+/// Dispose an entire version chain straight back to the pool — the
+/// records, plus any nodes still pending on their retire lists (nodes a
+/// publish superseded whose covering record was never detached by a
+/// [`trim`]; with the chain itself going away they are owned by nobody
+/// else and are freed via their recorded `free_fn`). `head` may be 0.
 ///
 /// # Safety
 /// The chain must be unreachable by any other thread: either never
@@ -251,7 +378,11 @@ pub unsafe fn dispose_chain(head: u64) {
     while raw != 0 {
         // SAFETY: the chain is unreachable and owned by us (fn contract),
         // so each record is live until we dispose it right below.
-        let next = unsafe { VersionRecord::from_raw(raw) }.prev();
+        let rec = unsafe { VersionRecord::from_raw(raw) };
+        let next = rec.prev();
+        // SAFETY: chain unreachable per the fn contract — pending
+        // superseded nodes have no readers and are freed in place.
+        unsafe { rec.free_covered_now() };
         // SAFETY: `raw` came from `alloc_pooled` and nobody else can
         // reach it (fn contract).
         unsafe { ebr::pool::dispose_pooled(raw as *mut VersionRecord) };
@@ -267,6 +398,19 @@ pub unsafe fn dispose_chain(head: u64) {
 /// min_active` stop at or above the kept record) and with other trimmers:
 /// each `prev` pointer is claimed by exactly one CAS/swap, and the claimant
 /// owns — and retires — the record behind it.
+///
+/// ## Retire order (the PR 7 forensics fix)
+///
+/// Detaching a suffix is also the moment the *nodes* those records cover
+/// become unreachable, so this is where superseded nodes are handed to
+/// EBR — never earlier. When the kept record's `prev` is claimed, the
+/// kept record's [retire list](VersionRecord::attach_retired) (the region
+/// its own publish superseded, rooted at the detached record's child) is
+/// processed; each claimed suffix record's list is processed the same way
+/// before the record itself is retired. A registered snapshot always
+/// stops at (or above) the kept record, whose child is on the *next*
+/// record's still-unprocessed list — so no reachable record can ever name
+/// a retired node.
 pub fn trim(guard: &Guard, head: u64, min_active: u64, clock: &AtomicU64) {
     let mut cur = head;
     loop {
@@ -285,6 +429,9 @@ pub fn trim(guard: &Guard, head: u64, min_active: u64, clock: &AtomicU64) {
                 .compare_exchange(prev, 0, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
+                // The region `v`'s publish superseded hung off the record
+                // we just detached: hand it to EBR now, not before.
+                v.retire_covered(guard);
                 let mut p = prev;
                 while p != 0 {
                     // SAFETY: we claimed this suffix with the CAS above;
@@ -295,6 +442,9 @@ pub fn trim(guard: &Guard, head: u64, min_active: u64, clock: &AtomicU64) {
                     // concurrent trimmer that cut deeper inside this
                     // suffix owns everything behind its own cut.
                     let next = rec.prev.swap(0, Ordering::SeqCst);
+                    // This record went with the suffix, so the region its
+                    // own publish superseded is unreachable too.
+                    rec.retire_covered(guard);
                     // SAFETY: `p` is pool-allocated and exclusively ours
                     // (claimed by the swap/CAS); retiring defers the free
                     // past every current pin.
@@ -561,6 +711,139 @@ mod tests {
         }
     }
 
+    /// A stand-in for a structure node, pooled so the debug poison
+    /// (`0xDD`) makes a premature free observable through the canary.
+    struct NodeStub {
+        canary: u64,
+    }
+
+    const STUB_CANARY: u64 = 0x5EED_CAFE_F00D_FEED;
+
+    fn alloc_stub() -> u64 {
+        ebr::pool::alloc_pooled(NodeStub {
+            canary: STUB_CANARY,
+        }) as u64
+    }
+
+    unsafe fn free_stub(p: *mut u8) {
+        // SAFETY: `p` came from `alloc_stub` and the caller owns it.
+        unsafe { ebr::pool::dispose_pooled(p as *mut NodeStub) };
+    }
+
+    fn stub_canary(raw: u64) -> u64 {
+        // SAFETY (test): `raw` came from `alloc_stub`; liveness is exactly
+        // what the retire-order tests assert via the canary value.
+        unsafe { &*(raw as *const NodeStub) }.canary
+    }
+
+    /// The PR 7 forensics shape, deterministic: a snapshot registered at
+    /// `ts` whose record stays reachable, with the superseded node's
+    /// reclamation raced past a full grace period before the read. With
+    /// the retire list the node must survive until [`trim`] detaches the
+    /// covering record — under the old retire-at-publish order the canary
+    /// read would hit a recycled, poison-filled block.
+    #[test]
+    fn node_outlives_covering_record() {
+        let sc = SnapClock::new();
+        let stub0 = alloc_stub();
+        let edge = VersionedEdge::new(stub0);
+        edge.read(sc.clock()); // stamp the initial record
+
+        // Register a snapshot but do NOT keep the epoch pin — the
+        // `FanoutSet::snapshot` / sharded-reader shape the forensics hit.
+        let ts = {
+            let _guard = ebr::pin();
+            sc.register()
+        };
+
+        // A writer supersedes stub0. Retire order under test: the node is
+        // attached to the new record, not retired at publish.
+        {
+            let guard = ebr::pin();
+            let head = edge.head();
+            let stub1 = alloc_stub();
+            let rec = VersionRecord::alloc(stub1, head);
+            // SAFETY: `rec` is ours until the store below publishes it.
+            unsafe { VersionRecord::from_raw(rec) }.attach_retired(stub0, free_stub);
+            edge.cell().store(rec, Ordering::SeqCst);
+            // SAFETY: just published on a reachable edge under our pin.
+            unsafe { VersionRecord::from_raw(rec) }.stamp(sc.clock());
+            trim(&guard, rec, sc.min_active(), sc.clock());
+        }
+
+        // Push EBR far enough that anything wrongly retired above is
+        // recycled (and poison-filled in debug) by now.
+        for _ in 0..4 {
+            drop(ebr::pin());
+            ebr::flush();
+        }
+
+        // The reader resumes under a fresh pin and walks to stub0 through
+        // the still-reachable record.
+        {
+            let _guard = ebr::pin();
+            let child = edge.read_at(sc.clock(), ts);
+            assert_eq!(child, stub0);
+            assert_eq!(
+                stub_canary(child),
+                STUB_CANARY,
+                "superseded node was recycled while its record was reachable"
+            );
+        }
+        sc.deregister();
+
+        // With the registration gone, trimming detaches the old record —
+        // and only now does stub0 go to EBR.
+        {
+            let guard = ebr::pin();
+            trim(&guard, edge.head(), u64::MAX, sc.clock());
+        }
+        let head = edge.cell().swap(0, Ordering::SeqCst);
+        // SAFETY: the head is exclusively ours after the swap.
+        let live = unsafe { VersionRecord::from_raw(head) }.child();
+        // SAFETY: nothing references the chain (or its pending retire
+        // lists) any more.
+        unsafe { dispose_chain(head) };
+        // SAFETY: the final child is not on any retire list; free it.
+        unsafe { free_stub(live as *mut u8) };
+        ebr::flush();
+    }
+
+    /// The two non-trim exits for a retire list: an aborted publish must
+    /// drop its cells without touching the (still-live) nodes, and a
+    /// whole-chain teardown must free pending nodes with the records.
+    #[test]
+    fn abort_and_teardown_paths_handle_retire_lists() {
+        // Abort: the "superseded" node must stay live.
+        let victim = alloc_stub();
+        let rec = VersionRecord::alloc(777, 0);
+        // SAFETY: `rec` is unpublished and ours.
+        let r = unsafe { VersionRecord::from_raw(rec) };
+        r.attach_retired(victim, free_stub);
+        // SAFETY: unpublished record, exclusively ours (abort contract).
+        unsafe { r.abort_retired() };
+        assert_eq!(stub_canary(victim), STUB_CANARY, "abort freed a live node");
+        // SAFETY: unpublished and list already cleared.
+        unsafe { ebr::pool::dispose_pooled(rec as *mut VersionRecord) };
+
+        // Teardown: a chain with a pending retire list frees the node too
+        // (no leak — the asan job would catch one here).
+        let clock = AtomicU64::new(1);
+        let edge = VersionedEdge::new(victim);
+        edge.read(&clock);
+        let stub1 = alloc_stub();
+        let head = VersionRecord::alloc(stub1, edge.head());
+        // SAFETY: private until the store below.
+        unsafe { VersionRecord::from_raw(head) }.attach_retired(victim, free_stub);
+        edge.cell().store(head, Ordering::SeqCst);
+        let taken = edge.cell().swap(0, Ordering::SeqCst);
+        // SAFETY: chain unpublished from the edge and exclusively ours;
+        // frees `victim` via its pending cell.
+        unsafe { dispose_chain(taken) };
+        // SAFETY: stub1 (the live child) is not on any retire list.
+        unsafe { free_stub(stub1 as *mut u8) };
+    }
+
     #[test]
     fn registry_tracks_nested_snapshots() {
         let clock = AtomicU64::new(10);
@@ -786,5 +1069,173 @@ mod sched_tests {
             report.assert_clean("register-vs-trim contended");
         }
         eprintln!("register-vs-trim contended: {budget} schedules clean");
+    }
+
+    // ------------------------------------------------------------------
+    // Retire-order corpus (ISSUE 10 headline satellite, the PR 7
+    // forensics shape): the edge's children are *pooled nodes*, publishes
+    // attach the superseded node to the new record, and readers register
+    // without keeping the epoch pin, then deref the child they read. If a
+    // node were ever handed to EBR while a record covering it was still
+    // reachable, some schedule recycles it between the reader's pins and
+    // the canary deref observes the pool's 0xDD poison.
+    // ------------------------------------------------------------------
+
+    const CANARY: u64 = 0x5EED_CAFE_F00D_FEED;
+
+    /// A pooled stand-in for a structure node.
+    struct NodeStub {
+        canary: u64,
+    }
+
+    fn alloc_stub() -> u64 {
+        ebr::pool::alloc_pooled(NodeStub { canary: CANARY }) as u64
+    }
+
+    unsafe fn free_stub(p: *mut u8) {
+        // SAFETY: `p` came from `alloc_stub` and the caller owns it.
+        unsafe { ebr::pool::dispose_pooled(p as *mut NodeStub) };
+    }
+
+    /// One edge over pooled node stubs; publishes supersede the previous
+    /// stub with the fixed retire order (attach-before-publish).
+    struct RetireScene {
+        clock: SnapClock,
+        edge: VersionedEdge,
+    }
+
+    impl RetireScene {
+        fn new() -> Arc<RetireScene> {
+            let s = Arc::new(RetireScene {
+                clock: SnapClock::new(),
+                edge: VersionedEdge::new(alloc_stub()),
+            });
+            s.edge.read(s.clock.clock()); // stamp the initial record
+            s
+        }
+
+        /// Publish a fresh node over the current one. Retire order under
+        /// test: the superseded node rides the new record's retire list
+        /// and reaches EBR only when `trim` detaches its covering record.
+        fn publish_node(&self) {
+            let guard = ebr::pin();
+            let head = self.edge.head();
+            // SAFETY: head of a reachable edge, live under our pin.
+            let old_child = unsafe { VersionRecord::from_raw(head) }.child();
+            let rec = VersionRecord::alloc(alloc_stub(), head);
+            // SAFETY: `rec` is private until the CAS below publishes it.
+            unsafe { VersionRecord::from_raw(rec) }.attach_retired(old_child, free_stub);
+            self.edge
+                .cell()
+                .compare_exchange(head, rec, Ordering::SeqCst, Ordering::SeqCst)
+                .expect("sole writer");
+            // SAFETY: just installed on a reachable edge under our pin.
+            unsafe { VersionRecord::from_raw(rec) }.stamp(self.clock.clock());
+            trim(&guard, rec, self.clock.min_active(), self.clock.clock());
+        }
+
+        /// Registered-but-repinned reader that *dereferences* the node it
+        /// reads — the oracle the PR 7 forensics needed: a stale canary
+        /// means a node was retired while its record was reachable.
+        fn read_node_repinned(&self) -> u64 {
+            let ts = {
+                let _guard = ebr::pin();
+                self.clock.register()
+            };
+            let canary = {
+                let _guard = ebr::pin();
+                let child = self.edge.read_at(self.clock.clock(), ts);
+                // SAFETY: the registry floor keeps the record covering
+                // `child` reachable at `ts`, and the retire-list order
+                // keeps the node alive while that record is — exactly the
+                // invariant this corpus explores.
+                unsafe { &*(child as *const NodeStub) }.canary
+            };
+            self.clock.deregister();
+            canary
+        }
+
+        /// Quiescent teardown: trim everything, then free the chain and
+        /// the one live node.
+        fn finish(&self) {
+            {
+                let guard = ebr::pin();
+                trim(&guard, self.edge.head(), u64::MAX, self.clock.clock());
+            }
+            let head = self.edge.cell().swap(0, Ordering::SeqCst);
+            // SAFETY: exclusively ours after the swap (vthreads joined).
+            let live = unsafe { VersionRecord::from_raw(head) }.child();
+            // SAFETY: unreachable chain; pending retire lists go with it.
+            unsafe { dispose_chain(head) };
+            // SAFETY: the live child is on no retire list.
+            unsafe { free_stub(live as *mut u8) };
+        }
+    }
+
+    /// Two publishes (with EBR pushed between them, so a wrongly-early
+    /// retire really recycles) racing registered-repinned readers that
+    /// deref what they read.
+    fn retire_order_body() {
+        let s = RetireScene::new();
+        let sw = s.clone();
+        let w = sched::spawn(move || {
+            sw.publish_node();
+            ebr::flush();
+            sw.publish_node();
+            ebr::flush();
+        });
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let sr = s.clone();
+                sched::spawn(move || sr.read_node_repinned())
+            })
+            .collect();
+        w.join();
+        for r in readers {
+            assert_eq!(
+                r.join(),
+                CANARY,
+                "reader dereferenced a recycled node: retire order violated"
+            );
+        }
+        s.finish();
+    }
+
+    #[test]
+    fn retire_order_exhaustive_dfs() {
+        let budget: usize = std::env::var("VEDGE_SCHED_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000);
+        let report = explore_exhaustive(budget, 500_000, retire_order_body);
+        report.assert_clean("retire-order (attach-before-publish)");
+        eprintln!(
+            "retire-order: {} schedules, exhausted={}",
+            report.schedules, report.exhausted
+        );
+    }
+
+    #[test]
+    fn retire_order_explored_random() {
+        let budget: usize = std::env::var("VEDGE_SCHED_SCHEDULES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(400);
+        let per_cell = (budget / 2).max(1);
+        for (policy, seed) in [
+            (Policy::RandomWalk, 0x7ED6_0003u64),
+            (Policy::Pct { depth: 3 }, 0x7ED6_0004),
+        ] {
+            let cfg = ExploreConfig {
+                schedules: per_cell,
+                seed,
+                max_steps: 1_000_000,
+                policy,
+                stop_on_failure: true,
+            };
+            let report = explore(&cfg, retire_order_body);
+            report.assert_clean("retire-order contended");
+        }
+        eprintln!("retire-order contended: {budget} schedules clean");
     }
 }

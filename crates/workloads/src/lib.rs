@@ -265,10 +265,15 @@ pub struct RunResult {
     pub update_p50_ns: f64,
     /// 99th-percentile sampled update latency (ns).
     pub update_p99_ns: f64,
+    /// 99.9th-percentile sampled update latency (ns) — the tail the
+    /// serving-layer rows report.
+    pub update_p999_ns: f64,
     /// Median sampled query latency (ns).
     pub query_p50_ns: f64,
     /// 99th-percentile sampled query latency (ns).
     pub query_p99_ns: f64,
+    /// 99.9th-percentile sampled query latency (ns).
+    pub query_p999_ns: f64,
     /// Publication attempts during the measured phase (0 when the adapter
     /// exposes no [`BenchSet::contention`] counters).
     pub scx_attempts: u64,
@@ -371,13 +376,24 @@ struct WorkerOut {
     qry: LatAcc,
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample set (0 if empty).
-fn percentile(sorted: &[u64], p: f64) -> f64 {
+/// Nearest-rank percentile of an ascending-sorted sample set (0 if empty):
+/// the smallest value with at least `⌈p·n⌉` samples at or below it.
+///
+/// The previous formula (`round((n-1)·p)`) rounded *half away from zero*
+/// on the interpolated index, which biases small even-count sets high —
+/// the median of 2 samples was reported as the larger one, and of 4
+/// samples as the 3rd. Nearest rank is exact at every count.
+pub fn percentile(sorted: &[u64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)] as f64
+    let n = sorted.len();
+    let idx = if p <= 0.0 {
+        0
+    } else {
+        ((p * n as f64).ceil() as usize).clamp(1, n) - 1
+    };
+    sorted[idx] as f64
 }
 
 /// Run one timed experiment and aggregate the counts.
@@ -445,8 +461,10 @@ pub fn run(set: &dyn BenchSet, cfg: &RunConfig) -> RunResult {
     qry.samples.sort_unstable();
     result.update_p50_ns = percentile(&upd.samples, 0.50);
     result.update_p99_ns = percentile(&upd.samples, 0.99);
+    result.update_p999_ns = percentile(&upd.samples, 0.999);
     result.query_p50_ns = percentile(&qry.samples, 0.50);
     result.query_p99_ns = percentile(&qry.samples, 0.99);
+    result.query_p999_ns = percentile(&qry.samples, 0.999);
     result
 }
 
@@ -745,9 +763,31 @@ mod tests {
         assert_eq!(percentile(&[42], 0.99), 42.0);
         let v: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 0.50), 51.0); // round(99*0.5) = 50 -> v[50]
+        assert_eq!(percentile(&v, 0.50), 50.0); // ceil(0.5*100) = 50th -> v[49]
         assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.999), 100.0);
         assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    /// Small-sample edge cases the old `round((n-1)·p)` index got wrong:
+    /// the median of 2 samples was the larger one and of 4 samples the
+    /// 3rd. Nearest rank (`⌈p·n⌉`) is exact at every count, p999
+    /// included.
+    #[test]
+    fn percentile_small_sample_counts() {
+        assert_eq!(percentile(&[10, 20], 0.50), 10.0);
+        assert_eq!(percentile(&[10, 20], 0.99), 20.0);
+        assert_eq!(percentile(&[10, 20, 30], 0.50), 20.0);
+        assert_eq!(percentile(&[10, 20, 30, 40], 0.50), 20.0);
+        assert_eq!(percentile(&[10, 20, 30, 40], 0.75), 30.0);
+        // p999 at counts below 1000 is the max — never out of bounds.
+        for n in [1usize, 2, 9, 100, 999] {
+            let v: Vec<u64> = (1..=n as u64).collect();
+            assert_eq!(percentile(&v, 0.999), n as f64);
+        }
+        // At exactly 1000 samples, p999 is the 999th order statistic.
+        let v: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&v, 0.999), 999.0);
     }
 
     #[test]

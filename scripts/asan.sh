@@ -50,6 +50,16 @@ echo "== asan: fc_workload (combining group commit, pooled op cells) =="
 timeout 1200 cargo +nightly run --release -p bench \
     --example fc_workload --target "$TARGET" -- 1
 
+# Serving layer (PR 10): the end-to-end request path — client-owned
+# request cells handed through MPMC rings to per-shard and analytics
+# workers (any worker access after the done-flag release store is a
+# use-after-free on a reused cell), plus the retire-order fix's
+# deferred node reclamation driven by real fanout churn under leased
+# snapshots.
+echo "== asan: serve example (request-cell handoff, leased snapshots) =="
+timeout 1200 cargo +nightly run --release -p serve \
+    --example serve --target "$TARGET"
+
 if [ "$HUNT_ITERS" -gt 0 ]; then
     # Wall-clock rounds of the exact workload that produced the original
     # crashes: bench_pr4 section 1's baseline half on the pool-bypassing
